@@ -1,0 +1,15 @@
+"""Ablation: complement folding vs modulo reduction of colors."""
+
+from repro.experiments.ablations import run_ablation_disk_reduction
+
+
+def test_ablation_disk_reduction(benchmark, record_table):
+    table = benchmark.pedantic(run_ablation_disk_reduction, rounds=1,
+                               iterations=1)
+    record_table(table, "ablation_disk_reduction")
+    folds = table.column("fold_direct_collision_rate")
+    mods = table.column("mod_direct_collision_rate")
+    # Folding reaches zero direct collisions strictly earlier.
+    first_zero_fold = next(i for i, v in enumerate(folds) if v == 0)
+    first_zero_mod = next(i for i, v in enumerate(mods) if v == 0)
+    assert first_zero_fold <= first_zero_mod

@@ -1,0 +1,13 @@
+"""Ablation: coordinated vs independent per-disk kNN searches."""
+
+from repro.experiments.ablations import run_ablation_engine_modes
+
+
+def test_ablation_engine_modes(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_engine_modes, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_engine_modes")
+    rows = {row[0]: row for row in table.rows}
+    assert rows["coordinated"][2] <= rows["independent"][2]  # total pages

@@ -1,0 +1,13 @@
+"""Ablation: HS95 best-first vs RKV95 branch-and-bound page accesses."""
+
+from repro.experiments.ablations import run_ablation_knn_algorithms
+
+
+def test_ablation_knn_algorithms(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_knn_algorithms, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_knn_algorithms")
+    for ratio in table.column("ratio"):
+        assert ratio >= 1.0  # best-first is page-optimal

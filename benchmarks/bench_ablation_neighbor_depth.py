@@ -1,0 +1,15 @@
+"""Ablation: protecting direct-only vs direct+indirect neighbors."""
+
+from repro.experiments.ablations import run_ablation_neighbor_depth
+
+
+def test_ablation_neighbor_depth(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_neighbor_depth, kwargs={"scale": 0.4}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_neighbor_depth")
+    rows = {row[0]: row for row in table.rows}
+    assert rows["new"][1] == 0  # col has zero indirect collisions
+    assert rows["DM"][1] > 0
+    assert rows["new"][3] >= rows["DM"][3] * 0.9  # 10-NN speedup

@@ -1,0 +1,14 @@
+"""Ablation: page-to-disk assignment policies on Fourier data."""
+
+from repro.experiments.ablations import run_ablation_page_round_robin
+
+
+def test_ablation_page_round_robin(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_page_round_robin, kwargs={"scale": 0.4}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_page_round_robin")
+    speedups = dict(zip((r[0] for r in table.rows),
+                        table.column("speedup_10nn")))
+    assert speedups["new"] > speedups["hilbert"]

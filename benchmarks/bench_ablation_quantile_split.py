@@ -1,0 +1,14 @@
+"""Ablation: midpoint vs alpha-quantile bucket splits on skewed data."""
+
+from repro.experiments.ablations import run_ablation_quantile_split
+
+
+def test_ablation_quantile_split(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_quantile_split, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_quantile_split")
+    rows = {row[0]: row for row in table.rows}
+    assert rows["quantile"][1] < rows["midpoint"][1]  # better balance
+    assert rows["quantile"][2] > rows["midpoint"][2] * 0.95  # >= speedup

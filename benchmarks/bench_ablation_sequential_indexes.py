@@ -1,0 +1,15 @@
+"""Ablation: Section 2's sequential NN indexes head to head."""
+
+from repro.experiments.ablations import run_ablation_sequential_indexes
+
+
+def test_ablation_sequential_indexes(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_sequential_indexes, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_sequential_indexes")
+    # Every method's page counts grow with the dimension.
+    for column in ("grid_welch", "kd_tree", "xtree"):
+        pages = table.column(column)
+        assert pages == sorted(pages)

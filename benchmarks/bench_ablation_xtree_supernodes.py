@@ -1,0 +1,16 @@
+"""Ablation: X-tree (supernodes) vs plain R*-tree in high dimensions."""
+
+from repro.experiments.ablations import run_ablation_xtree_supernodes
+
+
+def test_ablation_xtree_supernodes(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ablation_xtree_supernodes, kwargs={"scale": 0.6}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ablation_xtree_supernodes")
+    # The X-tree uses supernodes somewhere and never reads meaningfully
+    # more pages than the R*-tree.
+    assert sum(table.column("xtree_supernodes")) > 0
+    ratios = table.column("ratio")
+    assert min(ratios) > 0.9

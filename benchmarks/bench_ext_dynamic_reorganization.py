@@ -1,0 +1,13 @@
+"""Extension: automatic reorganization under distribution drift."""
+
+from repro.experiments.extensions import run_ext_dynamic_reorganization
+
+
+def test_ext_dynamic_reorganization(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_dynamic_reorganization, kwargs={"scale": 0.6}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ext_dynamic_reorganization")
+    reorganizations = table.column("reorganizations")
+    assert reorganizations[-1] >= 1

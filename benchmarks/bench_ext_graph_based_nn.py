@@ -1,0 +1,15 @@
+"""Extension: graph-based NN search (Section 2's second family)."""
+
+from repro.experiments.extensions import run_ext_graph_based_nn
+
+
+def test_ext_graph_based_nn(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_graph_based_nn, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ext_graph_based_nn")
+    recalls = table.column("recall")
+    assert recalls[-1] > 0.85
+    assert recalls[-1] >= recalls[0]
+    assert max(table.column("fraction_of_scan")) < 0.5

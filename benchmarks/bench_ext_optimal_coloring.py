@@ -1,0 +1,13 @@
+"""Extension: DSATUR coloring of G_d vs the closed-form staircase."""
+
+from repro.experiments.extensions import run_ext_optimal_coloring
+
+
+def test_ext_optimal_coloring(benchmark, record_table):
+    table = benchmark.pedantic(run_ext_optimal_coloring, rounds=1,
+                               iterations=1)
+    record_table(table, "ext_optimal_coloring")
+    for staircase, dsatur in zip(
+        table.column("col_staircase"), table.column("dsatur_colors")
+    ):
+        assert dsatur >= staircase

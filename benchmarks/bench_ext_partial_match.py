@@ -1,0 +1,13 @@
+"""Extension: partial-match queries (the DM/FX design workload)."""
+
+from repro.experiments.extensions import run_ext_partial_match
+
+
+def test_ext_partial_match(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_partial_match, kwargs={"scale": 0.4}, rounds=1, iterations=1
+    )
+    record_table(table, "ext_partial_match")
+    for row in table.rows:
+        _, dm, fx, hil, new = row
+        assert new <= max(dm, fx) + 1e-9

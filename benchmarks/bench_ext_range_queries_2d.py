@@ -1,0 +1,18 @@
+"""Extension: 2-d range queries on a fine grid — [FB 93]'s home turf."""
+
+from repro.experiments.extensions import run_ext_range_queries_2d
+
+
+def test_ext_range_queries_2d(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_range_queries_2d, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "ext_range_queries_2d")
+    # Hilbert is at least competitive with DM/FX on large windows
+    # (the [FB 93] result), and the paper's quadrant technique is not
+    # designed for this workload.
+    last = table.rows[-1]
+    _, dm, fx, hil, new = last
+    assert hil <= max(dm, fx) + 1e-9
+    assert new >= hil

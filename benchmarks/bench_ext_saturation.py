@@ -1,0 +1,15 @@
+"""Extension: open-system saturation (latency vs offered Poisson load)."""
+
+from repro.experiments.extensions import run_ext_saturation
+
+
+def test_ext_saturation(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_saturation, kwargs={"scale": 0.3}, rounds=1, iterations=1
+    )
+    record_table(table, "ext_saturation")
+    new_mean = table.column("new_mean_ms")
+    hil_mean = table.column("hil_mean_ms")
+    # Latency grows with the offered rate; the balanced store stays ahead.
+    assert new_mean == sorted(new_mean)
+    assert all(n < h for n, h in zip(new_mean, hil_mean))

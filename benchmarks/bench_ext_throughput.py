@@ -1,0 +1,12 @@
+"""Extension (paper future work): throughput under concurrent queries."""
+
+from repro.experiments.extensions import run_ext_throughput
+
+
+def test_ext_throughput(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_throughput, kwargs={"scale": 0.4}, rounds=1, iterations=1
+    )
+    record_table(table, "ext_throughput")
+    rows = {row[0]: row for row in table.rows}
+    assert rows["new"][1] > rows["HIL"][1]

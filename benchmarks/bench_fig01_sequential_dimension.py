@@ -1,0 +1,17 @@
+"""Figure 1: sequential X-tree NN search time degenerates with dimension."""
+
+from repro.experiments import run_fig01_sequential_dimension
+
+
+def test_fig01_sequential_dimension(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig01_sequential_dimension,
+        kwargs={"scale": 0.5},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig01_sequential_dimension")
+    pages = table.column("data_pages_read")
+    # Paper's shape: page counts explode with the dimension.
+    assert pages[-1] > 10 * pages[0]
+    assert pages == sorted(pages)

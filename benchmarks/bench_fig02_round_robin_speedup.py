@@ -1,0 +1,17 @@
+"""Figure 2: near-linear speed-up of round-robin parallel NN search."""
+
+from repro.experiments import run_fig02_round_robin_speedup
+
+
+def test_fig02_round_robin_speedup(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig02_round_robin_speedup,
+        kwargs={"scale": 0.4},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig02_round_robin_speedup")
+    for column in ("speedup_nn", "speedup_10nn"):
+        speedups = table.column(column)
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 4.0  # clearly parallel at 16 disks

@@ -1,0 +1,20 @@
+"""Figure 3: improvement of Hilbert declustering over round robin."""
+
+from repro.experiments import run_fig03_hilbert_vs_round_robin
+
+
+def test_fig03_hilbert_vs_round_robin(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig03_hilbert_vs_round_robin,
+        kwargs={"scale": 0.4},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig03_hilbert_vs_round_robin")
+    improvements = table.column("improvement")
+    # Paper's shape: Hilbert consistently improves over round robin.
+    assert max(improvements) > 1.0
+    disk_rows = [
+        row for row in table.rows if row[0] == "disks"
+    ]
+    assert disk_rows[-1][4] >= disk_rows[0][4] * 0.8  # no collapse with disks

@@ -1,0 +1,15 @@
+"""Figure 5: most high-dimensional data lies near the space's surface."""
+
+from repro.experiments import run_fig05_surface_probability
+
+
+def test_fig05_surface_probability(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig05_surface_probability, rounds=1, iterations=1
+    )
+    record_table(table, "fig05_surface_probability")
+    analytic = table.column("analytic")
+    # Paper: > 97% at d = 16.
+    assert analytic[15] > 0.97
+    for a, m in zip(analytic, table.column("monte_carlo")):
+        assert abs(a - m) < 0.02

@@ -1,0 +1,15 @@
+"""Figure 6: buckets affected by the growing NN-sphere."""
+
+from repro.experiments import run_fig06_sphere_buckets
+
+
+def test_fig06_sphere_buckets(benchmark, record_table):
+    table = benchmark.pedantic(run_fig06_sphere_buckets, rounds=1,
+                               iterations=1)
+    record_table(table, "fig06_sphere_buckets")
+    by_radius = dict(zip(table.column("radius"), table.column("buckets_2d")))
+    # The paper's 2-d example: 1 bucket at r=0.4, 3 buckets at r=0.6.
+    assert by_radius[0.4] == 1
+    assert by_radius[0.6] == 3
+    high = table.column("buckets_8d")
+    assert high[-1] > high[0]

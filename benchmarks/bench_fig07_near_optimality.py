@@ -1,0 +1,13 @@
+"""Figure 7 / Lemma 1: DM, FX and Hilbert are not near-optimal."""
+
+from repro.experiments import run_fig07_near_optimality
+
+
+def test_fig07_near_optimality(benchmark, record_table):
+    table = benchmark.pedantic(run_fig07_near_optimality, rounds=1,
+                               iterations=1)
+    record_table(table, "fig07_near_optimality")
+    for method, verdict in zip(
+        table.column("method"), table.column("near_optimal")
+    ):
+        assert (verdict == "yes") == (method == "new")

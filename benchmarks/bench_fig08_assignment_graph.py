@@ -1,0 +1,15 @@
+"""Figure 8: the disk-assignment graph G_3, colored with 4 colors."""
+
+from repro.experiments import run_fig08_assignment_graph
+
+
+def test_fig08_assignment_graph(benchmark, record_table):
+    table = benchmark.pedantic(run_fig08_assignment_graph, rounds=1,
+                               iterations=1)
+    record_table(table, "fig08_assignment_graph")
+    values = dict(zip(table.column("quantity"), table.column("value")))
+    assert values["vertices (buckets)"] == 8
+    assert values["direct edges"] == 12
+    assert values["indirect edges"] == 12
+    assert values["colors used"] == 4
+    assert values["conflicting edges"] == 0

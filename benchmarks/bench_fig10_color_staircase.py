@@ -1,0 +1,17 @@
+"""Figure 10: the staircase of colors required by col."""
+
+from repro.experiments import run_fig10_color_staircase
+
+
+def test_fig10_color_staircase(benchmark, record_table):
+    table = benchmark.pedantic(run_fig10_color_staircase, rounds=1,
+                               iterations=1)
+    record_table(table, "fig10_color_staircase")
+    for low, col_colors, high in zip(
+        table.column("lower_bound"),
+        table.column("col_colors"),
+        table.column("upper_bound"),
+    ):
+        assert low <= col_colors <= high
+    exact = [v for v in table.column("exact_min") if v != "-"]
+    assert exact == table.column("col_colors")[: len(exact)]

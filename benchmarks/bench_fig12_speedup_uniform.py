@@ -1,0 +1,18 @@
+"""Figure 12: speed-up of the new technique on uniform data."""
+
+from repro.experiments import run_fig12_speedup_uniform
+
+
+def test_fig12_speedup_uniform(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig12_speedup_uniform, kwargs={"scale": 0.4}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "fig12_speedup_uniform")
+    nn = table.column("speedup_nn")
+    ten = table.column("speedup_10nn")
+    # Paper: near-linear; ~8 (NN) and ~13 (10-NN) at 16 disks.
+    assert nn == sorted(nn)
+    assert ten == sorted(ten)
+    assert nn[-1] > 4.0
+    assert ten[-1] > 6.0

@@ -1,0 +1,18 @@
+"""Figure 13: speed-up of new vs Hilbert on Fourier points."""
+
+from repro.experiments import run_fig13_speedup_fourier
+
+
+def test_fig13_speedup_fourier(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig13_speedup_fourier, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "fig13_speedup_fourier")
+    # Paper's shape: new near-linear for 10-NN; Hilbert well below.
+    new10 = table.column("new_10nn")
+    hil10 = table.column("hilbert_10nn")
+    assert new10 == sorted(new10)
+    assert new10[-1] > 2 * hil10[-1]
+    # 1-NN: new also ahead at the largest disk count.
+    assert table.column("new_nn")[-1] > table.column("hilbert_nn")[-1]

@@ -1,0 +1,15 @@
+"""Figure 14: improvement factor over Hilbert grows with the disk count."""
+
+from repro.experiments import run_fig14_improvement_over_hilbert
+
+
+def test_fig14_improvement_over_hilbert(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig14_improvement_over_hilbert, kwargs={"scale": 0.5}, rounds=1,
+        iterations=1
+    )
+    record_table(table, "fig14_improvement_over_hilbert")
+    improvements = table.column("improvement_10nn")
+    # Paper: grows with disks, reaching ~5 at 16 disks.
+    assert improvements[-1] > improvements[0]
+    assert improvements[-1] > 2.0

@@ -1,0 +1,14 @@
+"""Figure 15: constant scale-up when disks and data grow together."""
+
+from repro.experiments import run_fig15_scaleup
+
+
+def test_fig15_scaleup(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig15_scaleup, kwargs={"scale": 0.6}, rounds=1, iterations=1
+    )
+    record_table(table, "fig15_scaleup")
+    for column in ("time_nn_ms", "time_10nn_ms"):
+        times = table.column(column)
+        # Paper: nearly constant; allow a modest drift band.
+        assert max(times) < 3.5 * min(times)

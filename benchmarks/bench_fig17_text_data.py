@@ -1,0 +1,15 @@
+"""Figure 17: total search time on text descriptors, new vs Hilbert."""
+
+from repro.experiments import run_fig17_text_data
+
+
+def test_fig17_text_data(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_fig17_text_data, kwargs={"scale": 0.6}, rounds=1, iterations=1
+    )
+    record_table(table, "fig17_text_data")
+    improvement = table.rows[-1]
+    assert improvement[0] == "improvement"
+    # Paper: ~1.8x (NN) and ~2.0x (10-NN); require a clear win.
+    assert improvement[1] > 1.1
+    assert improvement[2] > 1.2

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the core declustering operations.
+
+Unlike the figure benches (one-shot experiment regenerations), these use
+pytest-benchmark's statistics to track the throughput of the hot
+primitives: the coloring function, bucket mapping, Hilbert indexing and
+disk-reduction table construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bits import bucket_numbers_for_points
+from repro.core.disk_reduction import reduction_table
+from repro.core.vertex_coloring import NearOptimalDeclusterer, col, col_array
+from repro.hilbert import HilbertCurve
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(0).random((50_000, 15))
+
+
+def test_col_scalar(benchmark):
+    result = benchmark(lambda: [col(b) for b in range(4096)])
+    assert len(result) == 4096
+
+
+def test_col_array_50k(benchmark, points):
+    buckets = bucket_numbers_for_points(points, np.full(15, 0.5))
+    colors = benchmark(col_array, buckets, 15)
+    assert len(colors) == len(points)
+
+
+def test_bucket_numbers_50k(benchmark, points):
+    buckets = benchmark(
+        bucket_numbers_for_points, points, np.full(15, 0.5)
+    )
+    assert len(buckets) == len(points)
+
+
+def test_declusterer_assign_50k(benchmark, points):
+    declusterer = NearOptimalDeclusterer(15, 16)
+    assignment = benchmark(declusterer.assign, points)
+    assert len(assignment) == len(points)
+
+
+def test_hilbert_roundtrip_d15(benchmark):
+    curve = HilbertCurve(15, 1)
+
+    def roundtrip():
+        for h in range(0, curve.length, 97):
+            assert curve.index_of(curve.coordinates_of(h)) == h
+
+    benchmark(roundtrip)
+
+
+def test_reduction_table_construction(benchmark):
+    table = benchmark(reduction_table, 64, 37)
+    assert len(table) == 64

@@ -1,0 +1,41 @@
+"""Micro-benchmarks of the index substrate (build + query paths)."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load
+from repro.index.knn import knn_best_first
+from repro.index.xtree import XTree
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return np.random.default_rng(1).random((20_000, 10))
+
+
+@pytest.fixture(scope="module")
+def tree(dataset):
+    return bulk_load(dataset)
+
+
+def test_bulk_load_20k(benchmark, dataset):
+    tree = benchmark(bulk_load, dataset)
+    assert tree.size == len(dataset)
+
+
+def test_knn10_query(benchmark, tree):
+    query = np.random.default_rng(2).random(10)
+    result, _ = benchmark(knn_best_first, tree, query, 10)
+    assert len(result) == 10
+
+
+def test_dynamic_insert_1k(benchmark, dataset):
+    points = dataset[:1000]
+
+    def build():
+        tree = XTree(10)
+        tree.extend(points)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert tree.size == 1000

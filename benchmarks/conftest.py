@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one figure of the paper and records the result
+table under ``benchmarks/results/`` so the numbers in EXPERIMENTS.md can be
+traced to a concrete run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist a ResultTable and echo it into the captured output."""
+
+    def recorder(table, name: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.to_text() + "\n")
+        print("\n" + table.to_text())
+        return table
+
+    return recorder

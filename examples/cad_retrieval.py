@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""CAD part retrieval over Fourier contour descriptors.
+
+Reproduces the paper's industrial scenario end to end: contours of CAD
+parts are described by Fourier coefficients [MG 93]; a database of part
+*variants* is highly clustered, which overloads single disks under plain
+quadrant declustering — the recursive declustering extension (Section 4.3)
+restores the balance.
+
+Run:  python examples/cad_retrieval.py
+"""
+
+import numpy as np
+
+from repro import (
+    NearOptimalDeclusterer,
+    PagedEngine,
+    PagedStore,
+    RecursiveDeclusterer,
+    SequentialEngine,
+    quantile_split_values,
+)
+from repro.data import fourier_points, query_workload
+
+
+def main():
+    rng = np.random.default_rng(23)
+    dimension, num_parts, num_disks = 15, 30_000, 16
+
+    print(f"Generating {num_parts} Fourier descriptors of CAD variants ...")
+    descriptors = fourier_points(
+        num_parts, dimension, seed=5, num_families=12, family_spread=0.05
+    )
+    queries = query_workload(descriptors, 10, seed=6, jitter=0.05)
+
+    sequential = SequentialEngine(descriptors)
+    plain = NearOptimalDeclusterer(dimension, num_disks)
+    recursive = RecursiveDeclusterer(
+        dimension,
+        num_disks,
+        max_levels=12,
+        imbalance_threshold=1.05,
+        split_values=quantile_split_values(descriptors),
+    ).fit(descriptors)
+
+    print(
+        f"Recursive declustering fitted: {recursive.report.levels_used} "
+        f"levels, static imbalance "
+        f"{recursive.report.initial_imbalance:.2f} -> "
+        f"{recursive.report.final_imbalance:.2f}"
+    )
+
+    results = {}
+    for declusterer in (plain, recursive):
+        store = PagedStore(tree=sequential.tree, declusterer=declusterer)
+        engine = PagedEngine(store)
+        loads = store.disk_loads()
+        times = [engine.query(q, 10).parallel_time_ms for q in queries]
+        results[declusterer.name] = np.mean(times)
+        print(
+            f"\n{declusterer.name}:"
+            f"\n  pages per disk (min/max): {loads.min()}/{loads.max()}"
+            f"\n  mean 10-NN parallel time: {np.mean(times):.0f} ms"
+        )
+
+    factor = results["new"] / results["new+rec"]
+    print(
+        f"\nrecursive declustering improvement: {factor:.1f}x "
+        f"(paper: 57.6 ms -> 17.7 ms, ~3.3x)"
+    )
+
+    # Retrieval sanity: the nearest variants of a part come from the same
+    # family cluster as the query.
+    query = queries[0]
+    store = PagedStore(tree=sequential.tree, declusterer=recursive)
+    neighbors = PagedEngine(store).query(query, 5).neighbors
+    print("\nexample query -> 5 most similar parts (oid, distance):")
+    for neighbor in neighbors:
+        print(f"  part {neighbor.oid:>6}  distance {neighbor.distance:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Analytical models: [BBKK 97] cost model, quadrant-neighborhood math."""
+
+from repro.analysis.cost_model import (
+    expected_nn_distance,
+    expected_pages_touched,
+    monte_carlo_surface_probability,
+    nn_distance_sample,
+    surface_probability,
+    unit_sphere_volume,
+)
+from repro.analysis.neighbors import (
+    bucket_mindist,
+    buckets_intersecting_sphere,
+    crossed_dimensions,
+    neighborhood_size,
+)
+
+__all__ = [
+    "bucket_mindist",
+    "buckets_intersecting_sphere",
+    "crossed_dimensions",
+    "expected_nn_distance",
+    "expected_pages_touched",
+    "monte_carlo_surface_probability",
+    "neighborhood_size",
+    "nn_distance_sample",
+    "surface_probability",
+    "unit_sphere_volume",
+]

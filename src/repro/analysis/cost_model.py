@@ -1,0 +1,116 @@
+"""Analytical cost model for high-dimensional NN search [BBKK 97].
+
+Section 3.1 of the paper leans on its companion cost model: the NN-sphere
+radius grows quickly with dimension, the number of pages any sequential
+algorithm must access grows with it, and almost all data sits near the
+(d-1)-dimensional surface of the data space.  This module provides those
+quantities in closed form (plus Monte-Carlo verification helpers used by
+the tests and the Figure 5/6 benches).
+
+All formulas assume N uniformly distributed points in ``[0, 1]^d`` and
+Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "unit_sphere_volume",
+    "expected_nn_distance",
+    "surface_probability",
+    "monte_carlo_surface_probability",
+    "expected_pages_touched",
+    "nn_distance_sample",
+]
+
+
+def unit_sphere_volume(dimension: int) -> float:
+    """Volume of the d-dimensional unit ball, ``pi^{d/2} / Gamma(d/2+1)``."""
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    return math.pi ** (dimension / 2.0) / math.gamma(dimension / 2.0 + 1.0)
+
+
+def expected_nn_distance(num_points: int, dimension: int, k: int = 1) -> float:
+    """Expected k-NN distance for uniform data (sphere-volume argument).
+
+    The radius at which a ball around the query is expected to contain
+    ``k`` of the ``num_points`` points:
+    ``r = (k / (N * V_d(1)))^(1/d)``.  Boundary effects make this an
+    underestimate in high dimensions (where the true sphere leaves the data
+    space); it still captures the rapid growth with ``d`` that motivates
+    the paper.
+    """
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return (k / (num_points * unit_sphere_volume(dimension))) ** (
+        1.0 / dimension
+    )
+
+
+def surface_probability(dimension: int, margin: float = 0.1) -> float:
+    """P(point lies within ``margin`` of the data-space surface).
+
+    Equation (1) of the paper (Figure 5):
+    ``p_surface(d) = 1 - (1 - 2*margin)^d`` — with the default margin 0.1
+    this exceeds 97% already at d = 16.
+    """
+    if not 0.0 < margin < 0.5:
+        raise ValueError(f"margin must be in (0, 0.5), got {margin}")
+    return 1.0 - (1.0 - 2.0 * margin) ** dimension
+
+
+def monte_carlo_surface_probability(
+    dimension: int, margin: float = 0.1, samples: int = 100_000, seed: int = 0
+) -> float:
+    """Monte-Carlo estimate of :func:`surface_probability`."""
+    rng = np.random.default_rng(seed)
+    points = rng.random((samples, dimension))
+    near = ((points < margin) | (points > 1.0 - margin)).any(axis=1)
+    return float(near.mean())
+
+
+def expected_pages_touched(
+    num_points: int,
+    dimension: int,
+    page_capacity: int,
+    k: int = 1,
+) -> float:
+    """Rough Minkowski-sum estimate of data pages hit by a k-NN query.
+
+    Pages are modeled as hypercubes of volume ``page_capacity / N``; a page
+    is touched when its cube is within the NN radius of the query, i.e.
+    with probability ``min(1, (s + 2r)^d)`` where ``s`` is the page side.
+    Coarse but captures the explosion with ``d`` shown in Figure 1.
+    """
+    if page_capacity < 1:
+        raise ValueError(f"page_capacity must be >= 1, got {page_capacity}")
+    radius = expected_nn_distance(num_points, dimension, k)
+    side = (page_capacity / num_points) ** (1.0 / dimension)
+    num_pages = num_points / page_capacity
+    fraction = min(1.0, (side + 2.0 * radius) ** dimension)
+    return num_pages * fraction
+
+
+def nn_distance_sample(
+    num_points: int,
+    dimension: int,
+    k: int = 1,
+    queries: int = 50,
+    seed: int = 0,
+) -> float:
+    """Empirical mean k-NN distance on uniform data (oracle check)."""
+    rng = np.random.default_rng(seed)
+    points = rng.random((num_points, dimension))
+    query_points = rng.random((queries, dimension))
+    distances = np.empty(queries)
+    for index, query in enumerate(query_points):
+        deltas = points - query
+        sq = np.einsum("ij,ij->i", deltas, deltas)
+        distances[index] = math.sqrt(np.partition(sq, k - 1)[k - 1])
+    return float(distances.mean())

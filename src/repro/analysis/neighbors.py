@@ -1,0 +1,105 @@
+"""Quadrant-neighborhood analysis: hamming balls and sphere intersections.
+
+Supports the paper's Section 3 arguments:
+
+* how many buckets are within ``i`` levels of (in)direction of a bucket
+  (the combinatorial explosion that limits Definition 3 to two levels);
+* which buckets a query sphere intersects (Figure 6's growing-sphere
+  picture), exactly and by Monte-Carlo.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.bits import bucket_coordinates
+
+__all__ = [
+    "neighborhood_size",
+    "buckets_intersecting_sphere",
+    "crossed_dimensions",
+    "bucket_mindist",
+]
+
+
+def neighborhood_size(dimension: int, levels: int) -> int:
+    """Buckets within ``levels`` bit-flips of a bucket (excluding itself).
+
+    The paper's Section 3.1: ``sum_{k=1..levels} C(d, k)`` — for two levels
+    of indirection in d = 16 this is already 696, which is why the
+    near-optimality definition stops at indirect (2-bit) neighbors.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    if not 0 <= levels <= dimension:
+        raise ValueError(f"levels must be in [0, {dimension}], got {levels}")
+    return sum(math.comb(dimension, k) for k in range(1, levels + 1))
+
+
+def bucket_mindist(
+    bucket: int,
+    query: np.ndarray,
+    split_values: np.ndarray,
+) -> float:
+    """Squared distance from ``query`` to the quadrant ``bucket``.
+
+    The quadrant spans ``[0, split)`` or ``[split, 1]`` per dimension,
+    according to the bucket's coordinate bits.
+    """
+    query = np.asarray(query, dtype=float)
+    split_values = np.asarray(split_values, dtype=float)
+    dimension = len(query)
+    coords = np.array(bucket_coordinates(bucket, dimension))
+    low = np.where(coords == 1, split_values, 0.0)
+    high = np.where(coords == 1, 1.0, split_values)
+    gap = np.maximum(np.maximum(low - query, query - high), 0.0)
+    return float(gap @ gap)
+
+
+def crossed_dimensions(
+    query: np.ndarray, radius: float, split_values: np.ndarray
+) -> List[int]:
+    """Dimensions whose split plane lies within ``radius`` of the query."""
+    query = np.asarray(query, dtype=float)
+    split_values = np.asarray(split_values, dtype=float)
+    return [
+        int(i)
+        for i in np.nonzero(np.abs(query - split_values) < radius)[0]
+    ]
+
+
+def buckets_intersecting_sphere(
+    query: Sequence[float],
+    radius: float,
+    split_values: Sequence[float],
+) -> List[int]:
+    """All quadrant buckets the sphere ``(query, radius)`` intersects.
+
+    A quadrant is intersected iff its mindist to the query is below
+    ``radius^2``; only dimensions whose split plane is within ``radius``
+    can flip, so the search enumerates ``2^(#crossed dims)`` candidates
+    rather than ``2^d`` (Figure 6's geometry).
+    """
+    query = np.asarray(query, dtype=float)
+    split_values = np.asarray(split_values, dtype=float)
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    dimension = len(query)
+    home = 0
+    for i in range(dimension):
+        if query[i] >= split_values[i]:
+            home |= 1 << i
+    crossed = crossed_dimensions(query, radius, split_values)
+    sq_radius = radius * radius
+    result = []
+    for mask_bits in range(1 << len(crossed)):
+        bucket = home
+        for position, dim in enumerate(crossed):
+            if mask_bits >> position & 1:
+                bucket ^= 1 << dim
+        if bucket_mindist(bucket, query, split_values) <= sq_radius:
+            result.append(bucket)
+    return sorted(result)

@@ -1,0 +1,92 @@
+"""Validation of the analytical cost model against the simulator.
+
+The [BBKK 97]-style formulas in :mod:`repro.analysis.cost_model` predict
+NN radii and page counts from first principles; this module measures the
+same quantities on concrete data and reports prediction ratios.  Useful
+both as a sanity check of the model (tested) and as a calibration aid when
+using :mod:`repro.analysis` for capacity planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.cost_model import (
+    expected_nn_distance,
+    expected_pages_touched,
+)
+from repro.data import uniform_points
+from repro.index.bulk import bulk_load
+from repro.index.knn import knn_best_first, knn_linear_scan
+from repro.index.node import leaf_capacity
+
+__all__ = ["ModelCheck", "validate_cost_model"]
+
+
+@dataclass(frozen=True)
+class ModelCheck:
+    """Prediction vs. measurement for one configuration."""
+
+    dimension: int
+    num_points: int
+    k: int
+    predicted_radius: float
+    measured_radius: float
+    predicted_pages: float
+    measured_pages: float
+
+    @property
+    def radius_ratio(self) -> float:
+        """Predicted / measured NN radius (1.0 = perfect)."""
+        return self.predicted_radius / max(self.measured_radius, 1e-12)
+
+    @property
+    def pages_ratio(self) -> float:
+        """Predicted / measured pages (1.0 = perfect)."""
+        return self.predicted_pages / max(self.measured_pages, 1e-12)
+
+
+def validate_cost_model(
+    dimensions: Sequence[int] = (2, 4, 8),
+    num_points: int = 20_000,
+    k: int = 10,
+    num_queries: int = 20,
+    seed: int = 0,
+) -> list:
+    """Measure NN radii and touched pages against the model's predictions.
+
+    Returns one :class:`ModelCheck` per dimension.  The sphere-volume
+    model ignores boundary effects, so it *underestimates* radii (and
+    hence pages) increasingly as the dimension grows — the checks in the
+    test suite pin down that known, one-sided bias.
+    """
+    checks = []
+    for dimension in dimensions:
+        points = uniform_points(num_points, dimension, seed=seed + dimension)
+        queries = uniform_points(num_queries, dimension, seed=seed + 999)
+        tree = bulk_load(points)
+        radii = []
+        pages = []
+        for query in queries:
+            result = knn_linear_scan(points, query, k)
+            radii.append(result[-1].distance)
+            _, stats = knn_best_first(tree, query, k)
+            pages.append(stats.leaf_accesses)
+        checks.append(
+            ModelCheck(
+                dimension=dimension,
+                num_points=num_points,
+                k=k,
+                predicted_radius=expected_nn_distance(num_points, dimension,
+                                                      k),
+                measured_radius=float(np.mean(radii)),
+                predicted_pages=expected_pages_touched(
+                    num_points, dimension, leaf_capacity(dimension), k
+                ),
+                measured_pages=float(np.mean(pages)),
+            )
+        )
+    return checks

@@ -1,0 +1,20 @@
+"""Baseline declustering methods the paper compares against.
+
+* :class:`RoundRobinDeclusterer` — item ``j`` goes to disk ``j mod n``.
+* :class:`DiskModuloDeclusterer` — Du & Sobolewski [DS 82].
+* :class:`FXDeclusterer` — Kim & Pramanik's bitwise-XOR method [KP 88].
+* :class:`HilbertDeclusterer` — Faloutsos & Bhagwat's fractal method
+  [FB 93], the strongest prior technique and the paper's main comparator.
+"""
+
+from repro.baselines.disk_modulo import DiskModuloDeclusterer
+from repro.baselines.fx import FXDeclusterer
+from repro.baselines.hilbert_decluster import HilbertDeclusterer
+from repro.baselines.round_robin import RoundRobinDeclusterer
+
+__all__ = [
+    "DiskModuloDeclusterer",
+    "FXDeclusterer",
+    "HilbertDeclusterer",
+    "RoundRobinDeclusterer",
+]

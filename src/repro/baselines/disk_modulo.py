@@ -1,0 +1,27 @@
+"""Disk Modulo declustering of Du & Sobolewski [DS 82].
+
+``DM(c_0, ..., c_{d-1}) = (sum_i c_i) mod n`` — designed for partial-match
+queries on Cartesian product files.  For the binary quadrant grid of the
+paper this degenerates badly: the sum of a quadrant bitstring is its
+popcount, so all ``C(d, k)`` buckets with ``k`` set bits share a disk
+whenever they agree modulo ``n``, and many *indirect* neighbors (2-bit
+changes that keep the popcount, e.g. ``01 -> 10``) always collide.  This is
+exactly the Figure 7 counterexample.
+"""
+
+from __future__ import annotations
+
+from repro.core.bits import bucket_coordinates
+from repro.core.declustering import BucketDeclusterer
+
+__all__ = ["DiskModuloDeclusterer"]
+
+
+class DiskModuloDeclusterer(BucketDeclusterer):
+    """``disk = (sum of grid coordinates) mod n`` [DS 82]."""
+
+    name = "DM"
+
+    def disk_for_bucket(self, bucket: int) -> int:
+        coordinates = bucket_coordinates(bucket, self.dimension)
+        return sum(coordinates) % self.num_disks

@@ -1,0 +1,29 @@
+"""FX declustering of Kim & Pramanik [KP 88].
+
+``FX(c_0, ..., c_{d-1}) = (XOR_i c_i) mod n`` — the coordinates are combined
+with a bitwise XOR, which was designed for partial-match retrieval on files
+with multi-bit field values.  On the paper's binary quadrant grid every
+coordinate is a single bit, so the XOR collapses to the *parity* of the
+bucket number: any two buckets of equal parity — in particular **all**
+indirect neighbors, which differ in exactly two bits — get the same value
+and, with n = 2, the same disk.  (Figure 7's FX cube.)
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.core.bits import bucket_coordinates
+from repro.core.declustering import BucketDeclusterer
+
+__all__ = ["FXDeclusterer"]
+
+
+class FXDeclusterer(BucketDeclusterer):
+    """``disk = (XOR of grid coordinates) mod n`` [KP 88]."""
+
+    name = "FX"
+
+    def disk_for_bucket(self, bucket: int) -> int:
+        coordinates = bucket_coordinates(bucket, self.dimension)
+        return reduce(lambda a, b: a ^ b, coordinates, 0) % self.num_disks

@@ -1,0 +1,246 @@
+"""Command-line interface: regenerate the paper's figures from a shell.
+
+Usage::
+
+    python -m repro figures --list
+    python -m repro figures --run fig13 --scale 0.5
+    python -m repro figures --run all --scale 0.25 --out results/
+    python -m repro ablations --run neighbor_depth
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro import __version__
+from repro.core.vertex_coloring import (
+    color_lower_bound,
+    color_upper_bound,
+    colors_required,
+)
+from repro.experiments import (
+    run_fig01_sequential_dimension,
+    run_fig02_round_robin_speedup,
+    run_fig03_hilbert_vs_round_robin,
+    run_fig05_surface_probability,
+    run_fig06_sphere_buckets,
+    run_fig07_near_optimality,
+    run_fig08_assignment_graph,
+    run_fig10_color_staircase,
+    run_fig12_speedup_uniform,
+    run_fig13_speedup_fourier,
+    run_fig14_improvement_over_hilbert,
+    run_fig15_scaleup,
+    run_fig16_recursive_declustering,
+    run_fig17_text_data,
+)
+from repro.experiments.extensions import (
+    run_ext_dynamic_reorganization,
+    run_ext_graph_based_nn,
+    run_ext_range_queries_2d,
+    run_ext_saturation,
+    run_ext_optimal_coloring,
+    run_ext_partial_match,
+    run_ext_throughput,
+)
+from repro.experiments.ablations import (
+    run_ablation_disk_reduction,
+    run_ablation_sequential_indexes,
+    run_ablation_engine_modes,
+    run_ablation_knn_algorithms,
+    run_ablation_neighbor_depth,
+    run_ablation_page_round_robin,
+    run_ablation_quantile_split,
+    run_ablation_xtree_supernodes,
+)
+from repro.index.node import directory_capacity, leaf_capacity
+
+__all__ = ["main", "FIGURES", "ABLATIONS"]
+
+#: Figure name -> experiment callable.  Scale-aware runners accept the
+#: ``scale`` keyword; purely analytical ones do not.
+FIGURES: Dict[str, Callable] = {
+    "fig01": run_fig01_sequential_dimension,
+    "fig02": run_fig02_round_robin_speedup,
+    "fig03": run_fig03_hilbert_vs_round_robin,
+    "fig05": run_fig05_surface_probability,
+    "fig06": run_fig06_sphere_buckets,
+    "fig07": run_fig07_near_optimality,
+    "fig08": run_fig08_assignment_graph,
+    "fig10": run_fig10_color_staircase,
+    "fig12": run_fig12_speedup_uniform,
+    "fig13": run_fig13_speedup_fourier,
+    "fig14": run_fig14_improvement_over_hilbert,
+    "fig15": run_fig15_scaleup,
+    "fig16": run_fig16_recursive_declustering,
+    "fig17": run_fig17_text_data,
+}
+
+#: Analytical figures that take no ``scale`` keyword.
+_UNSCALED = {"fig05", "fig06", "fig07", "fig08", "fig10"}
+
+ABLATIONS: Dict[str, Callable] = {
+    "neighbor_depth": run_ablation_neighbor_depth,
+    "disk_reduction": run_ablation_disk_reduction,
+    "knn_algorithms": run_ablation_knn_algorithms,
+    "quantile_split": run_ablation_quantile_split,
+    "xtree_supernodes": run_ablation_xtree_supernodes,
+    "sequential_indexes": run_ablation_sequential_indexes,
+    "page_round_robin": run_ablation_page_round_robin,
+    "engine_modes": run_ablation_engine_modes,
+    "throughput": run_ext_throughput,
+    "partial_match": run_ext_partial_match,
+    "optimal_coloring": run_ext_optimal_coloring,
+    "dynamic_reorganization": run_ext_dynamic_reorganization,
+    "saturation": run_ext_saturation,
+    "range_queries_2d": run_ext_range_queries_2d,
+    "graph_based_nn": run_ext_graph_based_nn,
+}
+
+_NO_SCALE_ABLATIONS = {"disk_reduction", "optimal_coloring"}
+
+
+def _emit(table, out_dir: Optional[str], name: str) -> None:
+    text = table.to_text()
+    print(text)
+    print()
+    if out_dir:
+        directory = pathlib.Path(out_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{name}.txt").write_text(text + "\n")
+
+
+def _run_group(
+    registry: Dict[str, Callable],
+    unscaled: set,
+    args: argparse.Namespace,
+) -> int:
+    if args.list:
+        for name in registry:
+            doc = (registry[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:>18}  {doc}")
+        return 0
+    targets = list(registry) if args.run == "all" else [args.run]
+    unknown = [t for t in targets if t not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for name in targets:
+        runner = registry[name]
+        if name in unscaled:
+            table = runner()
+        else:
+            table = runner(scale=args.scale, seed=args.seed)
+        _emit(table, args.out, name)
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__} — Fast Parallel Similarity Search in "
+          f"Multimedia Databases (SIGMOD 1997)")
+    print("\ncolor staircase (disks required by col):")
+    print(f"{'d':>3}  {'d+1':>4}  {'col':>4}  {'2d':>4}  "
+          f"{'leaf cap':>8}  {'dir cap':>7}")
+    for dimension in (2, 4, 8, 15, 16, 31, 32):
+        print(
+            f"{dimension:>3}  {color_lower_bound(dimension):>4}  "
+            f"{colors_required(dimension):>4}  "
+            f"{color_upper_bound(dimension):>4}  "
+            f"{leaf_capacity(dimension):>8}  "
+            f"{directory_capacity(dimension):>7}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the figures of 'Fast Parallel Similarity "
+        "Search in Multimedia Databases' (SIGMOD 1997).",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for command, registry, default in (
+        ("figures", FIGURES, "fig13"),
+        ("ablations", ABLATIONS, "neighbor_depth"),
+    ):
+        p = sub.add_parser(command, help=f"run {command} experiments")
+        p.add_argument("--run", default=default,
+                       help=f"experiment name or 'all' (default {default})")
+        p.add_argument("--list", action="store_true",
+                       help="list available experiments and exit")
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor (default 0.5)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="random seed (default 0)")
+        p.add_argument("--out", default=None,
+                       help="directory to write result tables to")
+
+    sub.add_parser("info", help="show library facts (staircase, capacities)")
+
+    verify = sub.add_parser(
+        "verify", help="check the paper's headline claims (PASS/FAIL)"
+    )
+    verify.add_argument("--scale", type=float, default=0.25)
+    verify.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    report.add_argument("--scale", type=float, default=0.25)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", default="reproduction_report.md")
+    report.add_argument(
+        "--figures-only", action="store_true",
+        help="skip the ablation/extension experiments",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _run_group(FIGURES, _UNSCALED, args)
+    if args.command == "ablations":
+        return _run_group(ABLATIONS, _NO_SCALE_ABLATIONS, args)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "verify":
+        from repro.experiments.verify import verify_reproduction
+
+        results = verify_reproduction(scale=args.scale, seed=args.seed)
+        for result in results:
+            verdict = "PASS" if result.passed else "FAIL"
+            print(f"[{verdict}] {result.claim}")
+            print(f"       {result.evidence}  ({result.seconds:.1f} s)")
+        failed = sum(not r.passed for r in results)
+        print(f"\n{len(results) - failed}/{len(results)} claims verified")
+        return 1 if failed else 0
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            FIGURES,
+            _UNSCALED,
+            scale=args.scale,
+            seed=args.seed,
+            ablations=None if args.figures_only else ABLATIONS,
+            unscaled_ablations=_NO_SCALE_ABLATIONS,
+            progress=lambda name: print(f"running {name} ..."),
+        )
+        pathlib.Path(args.out).write_text(text)
+        print(f"report written to {args.out}")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

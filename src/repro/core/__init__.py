@@ -1,0 +1,83 @@
+"""The paper's contribution: near-optimal declustering via vertex coloring.
+
+Submodules
+----------
+``bits``
+    Bucket-number arithmetic, Gray codes, direct/indirect neighborhoods.
+``declustering``
+    Abstract declusterer interfaces and load-balance metrics.
+``vertex_coloring``
+    The ``col`` coloring function and :class:`NearOptimalDeclusterer`.
+``disk_reduction``
+    Complement folding to arbitrary disk counts.
+``adaptive``
+    α-quantile split values with dynamic reorganization.
+``recursive``
+    Recursive declustering of overloaded disks.
+``graph``
+    The disk-assignment graph and near-optimality verification.
+"""
+
+from repro.core.adaptive import AdaptiveSplitTracker, quantile_split_values
+from repro.core.bits import (
+    bucket_coordinates,
+    bucket_number,
+    bucket_numbers_for_points,
+    direct_neighbors,
+    indirect_neighbors,
+)
+from repro.core.declustering import (
+    BucketDeclusterer,
+    Declusterer,
+    load_balance,
+    load_imbalance,
+)
+from repro.core.disk_reduction import modulo_reduction_table, reduction_table
+from repro.core.graph import (
+    brute_force_min_colors,
+    disk_assignment_graph,
+    is_near_optimal,
+    near_optimality_violations,
+    violation_statistics,
+)
+from repro.core.optimal import GraphColoringDeclusterer, greedy_coloring_colors
+from repro.core.recursive import RecursiveDeclusterer, cyclic_permutation
+from repro.core.vertex_coloring import (
+    NearOptimalDeclusterer,
+    col,
+    col_array,
+    color_lower_bound,
+    color_upper_bound,
+    colors_required,
+)
+
+__all__ = [
+    "AdaptiveSplitTracker",
+    "BucketDeclusterer",
+    "Declusterer",
+    "GraphColoringDeclusterer",
+    "NearOptimalDeclusterer",
+    "RecursiveDeclusterer",
+    "brute_force_min_colors",
+    "bucket_coordinates",
+    "bucket_number",
+    "bucket_numbers_for_points",
+    "col",
+    "col_array",
+    "color_lower_bound",
+    "color_upper_bound",
+    "colors_required",
+    "cyclic_permutation",
+    "direct_neighbors",
+    "disk_assignment_graph",
+    "greedy_coloring_colors",
+    "indirect_neighbors",
+    "is_near_optimal",
+    "load_balance",
+    "load_imbalance",
+    "modulo_reduction_table",
+    "near_optimality_violations",
+    "quantile_split_values",
+    "reduction_table",
+    "violation_statistics",
+]

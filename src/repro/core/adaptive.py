@@ -1,0 +1,133 @@
+"""α-quantile bucket boundaries for skewed data (Section 4.3, ext. 2a).
+
+With midpoint splits, clustered data piles most points into a few quadrants
+and hence onto a few disks.  The paper's first countermeasure replaces the
+midpoint split of every dimension by the 0.5-quantile (median) of that
+dimension, and keeps it up to date dynamically: the system counts how many
+points fall below/above the current split value and triggers a
+reorganization once the ratio drifts past a threshold.
+
+:class:`AdaptiveSplitTracker` implements that bookkeeping;
+:func:`quantile_split_values` is the one-shot batch variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["quantile_split_values", "AdaptiveSplitTracker"]
+
+
+def quantile_split_values(points: np.ndarray, alpha: float = 0.5) -> np.ndarray:
+    """Per-dimension α-quantile of a point set, used as bucket split values.
+
+    ``alpha = 0.5`` (the paper's choice) yields the median of each
+    dimension, so each single-dimension split is perfectly balanced.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError(
+            f"points must be a non-empty (N, d) array, got shape {points.shape}"
+        )
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    return np.quantile(points, alpha, axis=0)
+
+
+class AdaptiveSplitTracker:
+    """Dynamically maintained α-quantile split values.
+
+    The tracker records, per dimension, how many observed points fell below
+    and above the current split value.  :meth:`needs_reorganization` flags
+    when the worst-dimension ratio exceeds ``threshold`` (i.e. the recorded
+    distribution drifted away from the α-quantile), and
+    :meth:`reorganize` recomputes the split values from the data.
+
+    Parameters
+    ----------
+    dimension:
+        Feature-space dimensionality.
+    alpha:
+        Target quantile; the paper uses 0.5.
+    threshold:
+        Maximal tolerated ratio ``max(below, above) / min(below, above)``
+        per dimension before a reorganization is requested.
+    initial_split_values:
+        Starting split values; defaults to the midpoint 0.5 of ``[0, 1]``.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        alpha: float = 0.5,
+        threshold: float = 2.0,
+        initial_split_values: Optional[np.ndarray] = None,
+    ):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if threshold < 1.0:
+            raise ValueError(f"threshold must be >= 1.0, got {threshold}")
+        self.dimension = dimension
+        self.alpha = alpha
+        self.threshold = threshold
+        if initial_split_values is None:
+            self.split_values = np.full(dimension, 0.5)
+        else:
+            self.split_values = np.asarray(initial_split_values, dtype=float)
+            if self.split_values.shape != (dimension,):
+                raise ValueError(
+                    f"initial_split_values must have shape ({dimension},)"
+                )
+        self._below = np.zeros(dimension, dtype=np.int64)
+        self._above = np.zeros(dimension, dtype=np.int64)
+        self.reorganizations = 0
+
+    @property
+    def observed(self) -> int:
+        """Number of points recorded since the last reorganization."""
+        return int(self._below[0] + self._above[0])
+
+    def observe(self, points: np.ndarray) -> None:
+        """Record a batch of points against the current split values."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self.dimension:
+            raise ValueError(
+                f"points have dimension {points.shape[1]}, "
+                f"expected {self.dimension}"
+            )
+        above = points >= self.split_values
+        self._above += above.sum(axis=0)
+        self._below += (~above).sum(axis=0)
+
+    def imbalance_ratios(self) -> np.ndarray:
+        """Per-dimension ``max(below, above) / min(below, above)`` ratios.
+
+        Dimensions where one side is empty report ``inf`` once any point
+        was observed, and ``1.0`` before any observation.
+        """
+        below = self._below.astype(float)
+        above = self._above.astype(float)
+        hi = np.maximum(below, above)
+        lo = np.minimum(below, above)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(lo > 0, hi / lo, np.where(hi > 0, np.inf, 1.0))
+        return ratios
+
+    def needs_reorganization(self) -> bool:
+        """True once any dimension's ratio exceeds the threshold."""
+        return bool((self.imbalance_ratios() > self.threshold).any())
+
+    def reorganize(self, points: np.ndarray) -> np.ndarray:
+        """Recompute split values as the α-quantile of ``points``.
+
+        Resets the drift counters and returns the new split values.
+        """
+        self.split_values = quantile_split_values(points, self.alpha)
+        self._below[:] = 0
+        self._above[:] = 0
+        self.reorganizations += 1
+        return self.split_values

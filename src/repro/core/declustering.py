@@ -1,0 +1,145 @@
+"""Declustering interfaces.
+
+A *declusterer* decides, for every data item, which of ``n`` disks stores it.
+The paper frames this as a mapping from *buckets* (quadrants of the data
+space, see :mod:`repro.core.bits`) to disk numbers; round robin is the one
+baseline that ignores geometry and maps by insertion order instead.
+
+Two abstract layers are provided:
+
+* :class:`Declusterer` — anything that can assign an array of points to
+  disks.
+* :class:`BucketDeclusterer` — declusterers that factor through the quadrant
+  bucket number (Disk Modulo, FX, Hilbert, and the paper's near-optimal
+  vertex coloring).  Subclasses implement :meth:`disk_for_bucket` only.
+
+All coordinates are assumed to live in the unit hypercube ``[0, 1]^d`` as in
+the paper (Definition 1); the split values default to the midpoint 0.5 and
+may be replaced by α-quantiles (Section 4.3 extension).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bits import bucket_numbers_for_points
+
+__all__ = ["Declusterer", "BucketDeclusterer", "load_balance", "load_imbalance"]
+
+
+class Declusterer(abc.ABC):
+    """Assigns data items to disks.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality ``d`` of the feature space.
+    num_disks:
+        Number of disks ``n`` available.
+    """
+
+    #: Short name used in reports and figures ("new", "HIL", "RR", ...).
+    name: str = "abstract"
+
+    def __init__(self, dimension: int, num_disks: int):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be >= 1, got {num_disks}")
+        self.dimension = dimension
+        self.num_disks = num_disks
+
+    @abc.abstractmethod
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Map an ``(N, d)`` array of points to an ``(N,)`` array of disks."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(dimension={self.dimension}, "
+            f"num_disks={self.num_disks})"
+        )
+
+
+class BucketDeclusterer(Declusterer):
+    """Declusterers defined as a mapping from bucket numbers to disks.
+
+    The data space is split once per dimension at ``split_values`` (default:
+    the midpoint), yielding ``2^d`` quadrant buckets; the subclass decides
+    which disk each bucket lives on.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        num_disks: int,
+        split_values: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(dimension, num_disks)
+        if split_values is None:
+            split_values = np.full(dimension, 0.5)
+        self.split_values = np.asarray(split_values, dtype=float)
+        if self.split_values.shape != (dimension,):
+            raise ValueError(
+                f"split_values must have shape ({dimension},), "
+                f"got {self.split_values.shape}"
+            )
+
+    @abc.abstractmethod
+    def disk_for_bucket(self, bucket: int) -> int:
+        """Disk number in ``[0, num_disks)`` for the given bucket number."""
+
+    def bucket_of(self, points: np.ndarray) -> np.ndarray:
+        """Bucket numbers for an ``(N, d)`` array of points."""
+        return bucket_numbers_for_points(points, self.split_values)
+
+    def disk_table(self) -> np.ndarray:
+        """The full mapping ``bucket -> disk`` as an array of length 2^d.
+
+        Only sensible for moderate ``d`` (the table has ``2^d`` entries);
+        the per-point :meth:`assign` path uses it when ``d <= 22`` and falls
+        back to per-bucket evaluation of the touched buckets otherwise.
+        """
+        table = np.empty(1 << self.dimension, dtype=np.int64)
+        for bucket in range(1 << self.dimension):
+            table[bucket] = self.disk_for_bucket(bucket)
+        return table
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        buckets = self.bucket_of(points)
+        disks = np.empty(len(buckets), dtype=np.int64)
+        # Evaluate each distinct bucket once; with one split per dimension
+        # real workloads touch far fewer than 2^d buckets.
+        cache: Dict[int, int] = {}
+        for index, bucket in enumerate(buckets):
+            bucket = int(bucket)
+            disk = cache.get(bucket)
+            if disk is None:
+                disk = self.disk_for_bucket(bucket)
+                if not 0 <= disk < self.num_disks:
+                    raise RuntimeError(
+                        f"{type(self).__name__}.disk_for_bucket({bucket}) "
+                        f"returned {disk}, outside [0, {self.num_disks})"
+                    )
+                cache[bucket] = disk
+            disks[index] = disk
+        return disks
+
+
+def load_balance(assignment: np.ndarray, num_disks: int) -> np.ndarray:
+    """Per-disk item counts for a disk assignment array."""
+    assignment = np.asarray(assignment)
+    if assignment.size and (assignment.min() < 0 or assignment.max() >= num_disks):
+        raise ValueError("assignment contains disk ids outside [0, num_disks)")
+    return np.bincount(assignment, minlength=num_disks)
+
+
+def load_imbalance(assignment: np.ndarray, num_disks: int) -> float:
+    """Max/mean load ratio; 1.0 means perfectly balanced disks."""
+    counts = load_balance(assignment, num_disks)
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)

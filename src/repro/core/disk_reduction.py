@@ -1,0 +1,108 @@
+"""Adapting ``col`` to an arbitrary number of disks (Section 4.3, ext. 1).
+
+The coloring function needs ``C = 2^ceil(log2(d+1))`` disks.  Real systems
+have an arbitrary ``n <= C``.  The paper reduces the color count by
+repeatedly *folding* the upper half of the color range onto the binary
+complement of each color:
+
+* while ``n <= C_k / 2``: map every color ``c >= C_k / 2`` to its bitwise
+  complement within ``log2(C_k)`` bits (8 -> 7, 9 -> 6, ..., 15 -> 0 for
+  C_k = 16), halving the active color count;
+* finally, map the highest ``C_k - n`` colors to their complement so that
+  exactly ``n`` colors remain.
+
+Complementary colors have *maximal Hamming distance*, so after folding most
+directly neighboring buckets still land on different disks — this is the
+property the paper's experiments with non-power-of-two disk counts rely on.
+The whole reduction is precomputed into a lookup table ("Recording the
+mappings in a table, we are able to determine the disk number ... by a
+single table look-up").
+
+:func:`modulo_reduction_table` implements the naive ``color mod n``
+alternative used as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["reduction_table", "modulo_reduction_table", "fold_upper_half"]
+
+
+def _require_power_of_two(num_colors: int) -> None:
+    if num_colors < 1 or (num_colors & (num_colors - 1)) != 0:
+        raise ValueError(
+            f"num_colors must be a positive power of two, got {num_colors}"
+        )
+
+
+def fold_upper_half(values: np.ndarray, width: int) -> np.ndarray:
+    """Fold values in ``[width/2, width)`` onto their bitwise complement.
+
+    The complement is taken within ``log2(width)`` bits, i.e.
+    ``v -> (width - 1) - v``, which flips every bit and therefore maps a
+    color to the color of maximal Hamming distance.
+    """
+    _require_power_of_two(width)
+    values = np.asarray(values)
+    if values.size and (values.min() < 0 or values.max() >= width):
+        raise ValueError(f"values must lie in [0, {width})")
+    return np.where(values >= width // 2, (width - 1) - values, values)
+
+
+def reduction_table(num_colors: int, num_disks: int) -> np.ndarray:
+    """Lookup table mapping each of ``num_colors`` colors to one of
+    ``num_disks`` disks via the paper's complement folding.
+
+    Parameters
+    ----------
+    num_colors:
+        The color count produced by ``col`` — must be a power of two.
+    num_disks:
+        Target disk count, ``1 <= num_disks <= num_colors``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array ``t`` of length ``num_colors`` with
+        ``t[color] in [0, num_disks)``; surjective onto ``[0, num_disks)``.
+
+    >>> reduction_table(8, 8).tolist()
+    [0, 1, 2, 3, 4, 5, 6, 7]
+    >>> reduction_table(8, 4).tolist()
+    [0, 1, 2, 3, 3, 2, 1, 0]
+    >>> reduction_table(8, 3).tolist()
+    [0, 1, 2, 0, 0, 2, 1, 0]
+    """
+    _require_power_of_two(num_colors)
+    if not 1 <= num_disks <= num_colors:
+        raise ValueError(
+            f"num_disks must be in [1, {num_colors}], got {num_disks}"
+        )
+    table = np.arange(num_colors, dtype=np.int64)
+    width = num_colors
+    # Halving folds: after each, all values lie in [0, width/2).
+    while num_disks <= width // 2:
+        table = fold_upper_half(table, width)
+        width //= 2
+    # Partial fold to exactly num_disks colors.  The highest width-num_disks
+    # colors map to their complement, which lands in [0, width - num_disks)
+    # and is therefore < num_disks because num_disks > width/2 here.
+    if num_disks < width:
+        table = np.where(table >= num_disks, (width - 1) - table, table)
+    return table
+
+
+def modulo_reduction_table(num_colors: int, num_disks: int) -> np.ndarray:
+    """Ablation baseline: reduce colors with a plain ``mod num_disks``.
+
+    Unlike complement folding, modulo maps colors at Hamming distance 1 onto
+    the same disk whenever they differ by a multiple of ``num_disks``; the
+    ablation benchmark quantifies the resulting loss of neighbor separation.
+    """
+    _require_power_of_two(num_colors)
+    if not 1 <= num_disks <= num_colors:
+        raise ValueError(
+            f"num_disks must be in [1, {num_colors}], got {num_disks}"
+        )
+    return np.arange(num_colors, dtype=np.int64) % num_disks

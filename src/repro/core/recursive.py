@@ -1,0 +1,191 @@
+"""Recursive declustering of overloaded disks (Section 4.3, ext. 2b).
+
+When the data is highly *correlated*, even α-quantile splits leave some
+disks overloaded: many points share a quadrant pattern, so they share a
+color.  The paper's remedy: pick the overloaded disk and re-decluster *all
+buckets of that single disk* in one step with the ``col`` function —
+"permuting the colors using a simple heuristic when going to the next level
+of recursion" — transferring the affected data to other disks.  Declustering
+every overloaded bucket individually would need ``O(2^d)`` bookkeeping;
+per-disk recursion keeps the state linear in the recursion depth.
+
+:class:`RecursiveDeclusterer` is a fitted model: :meth:`fit` learns the
+recursion levels from a data sample (each level = which disk to refine, the
+sub-split values inside that disk's point set, and the color permutation),
+and :meth:`assign` replays them deterministically for any points — so
+insertions, updates and deletions after fitting need no a-priori knowledge
+of the data, matching the paper's "completely dynamical" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.adaptive import quantile_split_values
+from repro.core.bits import bucket_numbers_for_points
+from repro.core.declustering import Declusterer, load_balance
+from repro.core.disk_reduction import reduction_table
+from repro.core.vertex_coloring import col_array, colors_required
+
+__all__ = ["RecursiveDeclusterer", "RecursionLevel", "cyclic_permutation"]
+
+
+def cyclic_permutation(num_colors: int, shift: int) -> np.ndarray:
+    """The paper's "simple heuristic" permutation: a cyclic color shift.
+
+    Shifting the palette between recursion levels decorrelates the level-k
+    colors from the level-(k-1) colors, so points that collided on one level
+    spread out on the next.
+    """
+    return (np.arange(num_colors, dtype=np.int64) + shift) % num_colors
+
+
+@dataclass
+class RecursionLevel:
+    """One refinement step: re-decluster the points of ``refined_disk``."""
+
+    refined_disk: int
+    split_values: np.ndarray
+    permutation: np.ndarray
+
+
+@dataclass
+class _FitReport:
+    """Diagnostics collected while fitting."""
+
+    initial_imbalance: float = 0.0
+    final_imbalance: float = 0.0
+    levels_used: int = 0
+    level_imbalances: List[float] = field(default_factory=list)
+
+
+class RecursiveDeclusterer(Declusterer):
+    """``col``-based declustering with recursive refinement of hot disks.
+
+    Parameters
+    ----------
+    dimension, num_disks:
+        See :class:`~repro.core.declustering.Declusterer`.
+    alpha:
+        Quantile used for both the top-level and the per-level sub-splits.
+    max_levels:
+        Upper bound on recursion depth.  Each level re-spreads the single
+        hottest disk, so highly clustered data may need several levels
+        ("we may have to apply the recursive declustering more than once",
+        Section 4.3).
+    imbalance_threshold:
+        Stop refining once ``max_load / mean_load`` drops below this.
+    split_values:
+        Top-level split values; default is the midpoint.  Pass the
+        α-quantile of the data to combine both Section 4.3 extensions.
+    """
+
+    name = "new+rec"
+
+    def __init__(
+        self,
+        dimension: int,
+        num_disks: Optional[int] = None,
+        alpha: float = 0.5,
+        max_levels: int = 8,
+        imbalance_threshold: float = 1.2,
+        split_values: Optional[np.ndarray] = None,
+    ):
+        self.num_colors = colors_required(dimension)
+        if num_disks is None:
+            num_disks = self.num_colors
+        super().__init__(dimension, num_disks)
+        if num_disks > self.num_colors:
+            raise ValueError(
+                f"num_disks={num_disks} exceeds the {self.num_colors} colors "
+                f"available for d={dimension}"
+            )
+        if max_levels < 0:
+            raise ValueError(f"max_levels must be >= 0, got {max_levels}")
+        if imbalance_threshold < 1.0:
+            raise ValueError(
+                f"imbalance_threshold must be >= 1.0, got {imbalance_threshold}"
+            )
+        self.alpha = alpha
+        self.max_levels = max_levels
+        self.imbalance_threshold = imbalance_threshold
+        if split_values is None:
+            split_values = np.full(dimension, 0.5)
+        self.split_values = np.asarray(split_values, dtype=float)
+        if self.split_values.shape != (dimension,):
+            raise ValueError(f"split_values must have shape ({dimension},)")
+        self._reduction = reduction_table(self.num_colors, num_disks)
+        self.levels: List[RecursionLevel] = []
+        self.report = _FitReport()
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, points: np.ndarray) -> "RecursiveDeclusterer":
+        """Learn recursion levels from a data sample; returns ``self``."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise ValueError(
+                f"points must be (N, {self.dimension}), got {points.shape}"
+            )
+        self.levels = []
+        assignment = self._assign_base(points)
+        self.report = _FitReport(
+            initial_imbalance=self._imbalance(assignment),
+        )
+        for level_index in range(self.max_levels):
+            imbalance = self._imbalance(assignment)
+            self.report.level_imbalances.append(imbalance)
+            if imbalance <= self.imbalance_threshold:
+                break
+            loads = load_balance(assignment, self.num_disks)
+            hot_disk = int(np.argmax(loads))
+            hot_points = points[assignment == hot_disk]
+            if len(hot_points) < 2:
+                break
+            sub_splits = quantile_split_values(hot_points, self.alpha)
+            permutation = cyclic_permutation(self.num_colors, level_index + 1)
+            level = RecursionLevel(hot_disk, sub_splits, permutation)
+            self.levels.append(level)
+            assignment = self._apply_level(points, assignment, level)
+        self.report.levels_used = len(self.levels)
+        self.report.final_imbalance = self._imbalance(assignment)
+        return self
+
+    # --------------------------------------------------------------- assign
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=float)
+        assignment = self._assign_base(points)
+        for level in self.levels:
+            assignment = self._apply_level(points, assignment, level)
+        return assignment
+
+    # -------------------------------------------------------------- helpers
+
+    def _assign_base(self, points: np.ndarray) -> np.ndarray:
+        buckets = bucket_numbers_for_points(points, self.split_values)
+        colors = col_array(buckets, self.dimension)
+        return self._reduction[colors]
+
+    def _apply_level(
+        self,
+        points: np.ndarray,
+        assignment: np.ndarray,
+        level: RecursionLevel,
+    ) -> np.ndarray:
+        mask = assignment == level.refined_disk
+        if not mask.any():
+            return assignment
+        sub_buckets = bucket_numbers_for_points(points[mask], level.split_values)
+        colors = level.permutation[col_array(sub_buckets, self.dimension)]
+        refined = assignment.copy()
+        refined[mask] = self._reduction[colors]
+        return refined
+
+    def _imbalance(self, assignment: np.ndarray) -> float:
+        counts = load_balance(assignment, self.num_disks)
+        mean = counts.mean()
+        return float(counts.max() / mean) if mean else 1.0

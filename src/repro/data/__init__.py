@@ -1,0 +1,32 @@
+"""Workload generators: uniform/clustered synthetics, Fourier contours,
+text descriptors."""
+
+from repro.data.fourier import (
+    contour_radius_samples,
+    fourier_points,
+    straddling_dimensions,
+)
+from repro.data.histograms import DEFAULT_SCENES, color_histograms
+from repro.data.generators import (
+    corner_clusters,
+    correlated_points,
+    gaussian_clusters,
+    query_workload,
+    uniform_points,
+)
+from repro.data.text import generate_document, text_descriptors
+
+__all__ = [
+    "DEFAULT_SCENES",
+    "color_histograms",
+    "contour_radius_samples",
+    "corner_clusters",
+    "correlated_points",
+    "fourier_points",
+    "gaussian_clusters",
+    "generate_document",
+    "query_workload",
+    "straddling_dimensions",
+    "text_descriptors",
+    "uniform_points",
+]

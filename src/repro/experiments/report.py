@@ -1,0 +1,62 @@
+"""One-command reproduction report.
+
+``python -m repro report`` runs every figure (and optionally every
+ablation/extension) at the requested scale and writes a single markdown
+document with all result tables — the quickest way to eyeball the whole
+reproduction after a change.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro import __version__
+from repro.experiments.harness import ResultTable
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    figures: Dict[str, Callable],
+    unscaled: set,
+    scale: float = 0.25,
+    seed: int = 0,
+    ablations: Optional[Dict[str, Callable]] = None,
+    unscaled_ablations: Optional[set] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Run the given experiments and return a markdown report.
+
+    Parameters mirror the CLI registries; ``progress`` (if given) is
+    called with each experiment name before it runs.
+    """
+    sections = [
+        f"# Reproduction report — repro {__version__}",
+        "",
+        f"Scale {scale}, seed {seed}.  Shapes, not absolute numbers, are "
+        f"the comparison target (see EXPERIMENTS.md).",
+        "",
+    ]
+
+    def run_block(title: str, registry: Dict[str, Callable],
+                  no_scale: set) -> None:
+        sections.append(f"## {title}")
+        sections.append("")
+        for name, runner in registry.items():
+            if progress:
+                progress(name)
+            started = time.perf_counter()
+            if name in no_scale:
+                table: ResultTable = runner()
+            else:
+                table = runner(scale=scale, seed=seed)
+            elapsed = time.perf_counter() - started
+            sections.append(table.to_markdown())
+            sections.append(f"\n*(generated in {elapsed:.1f} s)*\n")
+
+    run_block("Figures", figures, unscaled)
+    if ablations:
+        run_block("Ablations and extensions", ablations,
+                  unscaled_ablations or set())
+    return "\n".join(sections)

@@ -1,0 +1,134 @@
+"""Reproduction scorecard: assert the paper's shapes programmatically.
+
+``python -m repro verify`` runs a curated battery of shape checks — one
+per headline claim of the paper — and prints PASS/FAIL per claim.  The
+checks mirror the assertions in ``benchmarks/`` but run at a configurable
+scale in one process, making them a quick acceptance test after changes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core import colors_required, is_near_optimal
+from repro.core.vertex_coloring import col
+from repro.experiments.figures_parallel import (
+    run_fig12_speedup_uniform,
+    run_fig13_speedup_fourier,
+    run_fig16_recursive_declustering,
+)
+from repro.experiments.figures_structure import (
+    run_fig07_near_optimality,
+    run_fig10_color_staircase,
+)
+
+__all__ = ["ClaimResult", "verify_reproduction", "CLAIMS"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """One verified claim: name, verdict, evidence, runtime."""
+
+    claim: str
+    passed: bool
+    evidence: str
+    seconds: float
+
+
+def _check_near_optimality(scale: float, seed: int) -> Tuple[bool, str]:
+    for dimension in range(1, 9):
+        if not is_near_optimal(col, dimension):
+            return False, f"col violates Definition 4 at d={dimension}"
+    table = run_fig07_near_optimality(dimensions=(3,))
+    verdicts = dict(zip(table.column("method"),
+                        table.column("near_optimal")))
+    baselines_fail = all(
+        verdicts[m] == "no" for m in ("DM", "FX", "HIL")
+    )
+    return (
+        verdicts["new"] == "yes" and baselines_fail,
+        f"d=3 verdicts: {verdicts}",
+    )
+
+
+def _check_staircase(scale: float, seed: int) -> Tuple[bool, str]:
+    table = run_fig10_color_staircase(max_dimension=16)
+    within = all(
+        low <= c <= high
+        for low, c, high in zip(
+            table.column("lower_bound"),
+            table.column("col_colors"),
+            table.column("upper_bound"),
+        )
+    )
+    exact = [v for v in table.column("exact_min") if v != "-"]
+    matches = exact == table.column("col_colors")[: len(exact)]
+    return within and matches, (
+        f"colors(1..8) = {[colors_required(d) for d in range(1, 9)]}, "
+        f"brute force matches for d<=4: {matches}"
+    )
+
+
+def _check_uniform_speedup(scale: float, seed: int) -> Tuple[bool, str]:
+    table = run_fig12_speedup_uniform(scale=scale, seed=seed,
+                                      disks=(1, 4, 16))
+    ten = table.column("speedup_10nn")
+    return (
+        ten == sorted(ten) and ten[-1] > 6.0,
+        f"10-NN speed-ups at 1/4/16 disks: "
+        f"{[round(s, 1) for s in ten]}",
+    )
+
+
+def _check_beats_hilbert(scale: float, seed: int) -> Tuple[bool, str]:
+    table = run_fig13_speedup_fourier(scale=scale, seed=seed, disks=(4, 16))
+    new = table.column("new_10nn")
+    hil = table.column("hilbert_10nn")
+    factor = new[-1] / max(hil[-1], 1e-9)
+    return factor > 2.0, (
+        f"at 16 disks: new={new[-1]:.1f}, hilbert={hil[-1]:.1f} "
+        f"(factor {factor:.1f}, paper ~5)"
+    )
+
+
+def _check_recursive(scale: float, seed: int) -> Tuple[bool, str]:
+    table = run_fig16_recursive_declustering(scale=scale, seed=seed)
+    improvement = table.rows[-1]
+    return improvement[2] > 1.5, (
+        f"10-NN improvement {improvement[2]:.1f}x (paper ~3.3x)"
+    )
+
+
+#: claim name -> checker(scale, seed) -> (passed, evidence)
+CLAIMS: List[Tuple[str, Callable]] = [
+    ("only the new technique is near-optimal (Lemma 1, 3-5)",
+     _check_near_optimality),
+    ("color staircase 2^ceil(log2(d+1)), optimal for small d (Lemma 6)",
+     _check_staircase),
+    ("near-linear speed-up on uniform data (Fig. 12)",
+     _check_uniform_speedup),
+    ("outperforms Hilbert by a growing factor on Fourier data (Fig. 13/14)",
+     _check_beats_hilbert),
+    ("recursive declustering rescues clustered data (Fig. 16)",
+     _check_recursive),
+]
+
+
+def verify_reproduction(
+    scale: float = 0.25, seed: int = 0
+) -> List[ClaimResult]:
+    """Run every claim check; returns one :class:`ClaimResult` each."""
+    results = []
+    for claim, checker in CLAIMS:
+        started = time.perf_counter()
+        try:
+            passed, evidence = checker(scale, seed)
+        except Exception as error:  # a crash is a failed claim
+            passed, evidence = False, f"crashed: {error!r}"
+        results.append(
+            ClaimResult(claim, passed, evidence,
+                        time.perf_counter() - started)
+        )
+    return results

@@ -1,0 +1,5 @@
+"""d-dimensional Hilbert space-filling curve (substrate for [FB 93])."""
+
+from repro.hilbert.curve import HilbertCurve
+
+__all__ = ["HilbertCurve"]

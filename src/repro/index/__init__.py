@@ -1,0 +1,46 @@
+"""High-dimensional index substrate: R\\*-tree, X-tree, kNN, bulk loading."""
+
+from repro.index.bulk import bulk_load, str_chunks
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.incremental import incremental_nearest
+from repro.index.knn import (
+    Neighbor,
+    SearchStats,
+    knn_best_first,
+    knn_branch_and_bound,
+    knn_linear_scan,
+    pages_intersecting_radius,
+)
+from repro.index.mbr import MBR
+from repro.index.metrics import Euclidean, LpMetric, Metric, WeightedEuclidean
+from repro.index.node import LeafEntry, Node, directory_capacity, leaf_capacity
+from repro.index.proximity_graph import KNNGraphIndex
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+__all__ = [
+    "Euclidean",
+    "GridIndex",
+    "KDTree",
+    "KNNGraphIndex",
+    "MBR",
+    "LeafEntry",
+    "LpMetric",
+    "Metric",
+    "WeightedEuclidean",
+    "Neighbor",
+    "Node",
+    "RStarTree",
+    "SearchStats",
+    "XTree",
+    "bulk_load",
+    "directory_capacity",
+    "knn_best_first",
+    "knn_branch_and_bound",
+    "incremental_nearest",
+    "knn_linear_scan",
+    "leaf_capacity",
+    "pages_intersecting_radius",
+    "str_chunks",
+]

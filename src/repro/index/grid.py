@@ -1,0 +1,150 @@
+"""Welch's bucketing algorithm [Wel 71]: grid cells visited by distance.
+
+The earliest algorithm in the paper's Section 2 review: divide the space
+into identical cells, attach each point to its cell, and answer an NN
+query by visiting cells in order of their distance to the query until the
+nearest found point is closer than every unvisited cell.
+
+The cell count is ``cells_per_dim ** d`` — which is exactly why the
+algorithm "is not efficient for high-dimensional data" (paper, Section 2)
+and why the paper's declustering works on *binary* quadrants only.  The
+implementation stores only the occupied cells (a dict), but the visit
+order enumeration still degrades with ``d``; the sequential-index ablation
+quantifies that.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.knn import Neighbor, SearchStats, _CandidateSet
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Uniform-grid index with distance-ordered cell visiting.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` array in ``[0, 1]^d``.
+    cells_per_dim:
+        Grid resolution per dimension (Welch's identical cells).
+    oids:
+        Object ids, default ``0..N-1``.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        cells_per_dim: int = 4,
+        oids: Optional[Sequence[int]] = None,
+    ):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (N, d), got {points.shape}")
+        if cells_per_dim < 1:
+            raise ValueError(
+                f"cells_per_dim must be >= 1, got {cells_per_dim}"
+            )
+        self.points = points
+        self.cells_per_dim = cells_per_dim
+        self.dimension = points.shape[1] if points.size else 0
+        if oids is None:
+            oids = np.arange(len(points))
+        self.oids = np.asarray(oids)
+        self.cell_width = 1.0 / cells_per_dim
+        self.cells: Dict[Tuple[int, ...], List[int]] = {}
+        coordinates = np.clip(
+            (points * cells_per_dim).astype(int), 0, cells_per_dim - 1
+        )
+        for index, cell in enumerate(map(tuple, coordinates)):
+            self.cells.setdefault(cell, []).append(index)
+
+    def cell_of(self, point: Sequence[float]) -> Tuple[int, ...]:
+        """Grid cell containing a point."""
+        point = np.asarray(point, dtype=float)
+        coords = np.clip(
+            (point * self.cells_per_dim).astype(int),
+            0,
+            self.cells_per_dim - 1,
+        )
+        return tuple(int(c) for c in coords)
+
+    def _cell_mindist(
+        self, cell: Tuple[int, ...], query: np.ndarray
+    ) -> float:
+        low = np.array(cell) * self.cell_width
+        high = low + self.cell_width
+        gap = np.maximum(np.maximum(low - query, query - high), 0.0)
+        return float(gap @ gap)
+
+    def _neighbors_of(self, cell: Tuple[int, ...]):
+        """All grid cells adjacent (including diagonally) to ``cell``."""
+        ranges = [
+            range(max(0, c - 1), min(self.cells_per_dim, c + 2))
+            for c in cell
+        ]
+        for candidate in itertools.product(*ranges):
+            if candidate != cell:
+                yield candidate
+
+    def knn(
+        self, query: Sequence[float], k: int = 1
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """Welch's search: expand cells best-first from the query cell.
+
+        Cells are charged one page each; the frontier grows through grid
+        adjacency, so only cells near the final NN sphere are enumerated.
+        """
+        query = np.asarray(query, dtype=float)
+        stats = SearchStats()
+        candidates = _CandidateSet(k)
+        if not len(self.points):
+            return [], stats
+        start = self.cell_of(query)
+        tiebreak = itertools.count()
+        heap = [(self._cell_mindist(start, query), next(tiebreak), start)]
+        seen = {start}
+        while heap:
+            mindist, _, cell = heapq.heappop(heap)
+            if mindist > candidates.bound:
+                break
+            occupants = self.cells.get(cell)
+            if occupants:
+                stats.node_accesses += 1
+                stats.leaf_accesses += 1
+                stats.page_accesses += 1
+                subset = self.points[occupants]
+                deltas = subset - query
+                sq = np.einsum("ij,ij->i", deltas, deltas)
+                stats.distance_computations += len(occupants)
+                for distance, index in zip(sq, occupants):
+                    candidates.offer(
+                        float(distance), int(self.oids[index]),
+                        self.points[index],
+                    )
+            for neighbor in self._neighbors_of(cell):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    heapq.heappush(
+                        heap,
+                        (
+                            self._cell_mindist(neighbor, query),
+                            next(tiebreak),
+                            neighbor,
+                        ),
+                    )
+        return candidates.neighbors(), stats
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def occupied_cells(self) -> int:
+        """Number of non-empty grid cells."""
+        return len(self.cells)

@@ -1,0 +1,267 @@
+"""k-nearest-neighbor search over R\\*/X-trees with page-access accounting.
+
+Two traversal strategies from the literature (both discussed in Section 2
+of the paper):
+
+* :func:`knn_best_first` — Hjaltason & Samet [HS 95]: a global priority
+  queue ordered by ``mindist`` visits partitions in increasing distance
+  order; optimal in the number of accessed pages for a given tree.
+* :func:`knn_branch_and_bound` — Roussopoulos et al. [RKV 95]: depth-first
+  traversal with ``mindist`` ordering and ``minmaxdist``/``mindist``
+  pruning; the algorithm the paper ran on the X-tree.
+
+Both return the result list together with :class:`SearchStats`, whose
+``page_accesses`` field (supernode-aware) is the cost metric of every
+experiment in the paper.  :func:`knn_linear_scan` is the brute-force oracle
+used by the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.metrics import Euclidean, Metric
+from repro.index.node import LeafEntry, Node
+from repro.index.rstar import RStarTree
+
+#: Default metric: L2 with squared-distance ranking keys.
+_EUCLIDEAN = Euclidean()
+
+__all__ = [
+    "Neighbor",
+    "SearchStats",
+    "knn_best_first",
+    "knn_branch_and_bound",
+    "knn_linear_scan",
+    "pages_intersecting_radius",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One kNN result: Euclidean distance, object id and the point.
+
+    Orders by (distance, oid), so sorted result lists are deterministic.
+    """
+
+    distance: float
+    oid: int
+    point: np.ndarray = field(repr=False, compare=False)
+
+
+@dataclass
+class SearchStats:
+    """I/O and CPU counters of one kNN search."""
+
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    page_accesses: int = 0
+    distance_computations: int = 0
+
+    def record(self, node: Node) -> None:
+        """Charge one node visit (supernodes cost ``blocks`` pages)."""
+        self.node_accesses += 1
+        self.page_accesses += node.blocks
+        if node.is_leaf:
+            self.leaf_accesses += 1
+
+    def merge(self, other: "SearchStats") -> None:
+        self.node_accesses += other.node_accesses
+        self.leaf_accesses += other.leaf_accesses
+        self.page_accesses += other.page_accesses
+        self.distance_computations += other.distance_computations
+
+
+class _CandidateSet:
+    """Bounded max-heap of the best k candidates seen so far."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._heap: List[Tuple[float, int, np.ndarray]] = []
+
+    @property
+    def bound(self) -> float:
+        """Squared distance of the current k-th candidate (inf if fewer)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, sq_distance: float, oid: int, point: np.ndarray) -> None:
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-sq_distance, oid, point))
+        elif sq_distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-sq_distance, oid, point))
+
+    def neighbors(self, metric: Metric = _EUCLIDEAN) -> List[Neighbor]:
+        ordered = sorted(
+            ((-neg, oid, point) for neg, oid, point in self._heap)
+        )
+        return [
+            Neighbor(float(metric.key_to_distance(key)), oid, point)
+            for key, oid, point in ordered
+        ]
+
+
+def _leaf_distances(
+    leaf: Node,
+    query: np.ndarray,
+    stats: SearchStats,
+    metric: Metric = _EUCLIDEAN,
+) -> Tuple[np.ndarray, List[LeafEntry]]:
+    entries: List[LeafEntry] = leaf.entries  # type: ignore[assignment]
+    points = np.vstack([entry.point for entry in entries])
+    keys = metric.point_keys(points, query)
+    stats.distance_computations += len(entries)
+    return keys, entries
+
+
+def knn_best_first(
+    tree: RStarTree,
+    query: Sequence[float],
+    k: int = 1,
+    metric: Optional[Metric] = None,
+) -> Tuple[List[Neighbor], SearchStats]:
+    """HS 95 incremental best-first kNN.
+
+    Maintains a priority queue of tree nodes keyed by ``mindist`` to the
+    query; terminates once the nearest unvisited node is farther than the
+    current k-th candidate — i.e. it reads exactly the pages whose MBR
+    intersects the kNN sphere (page-optimal for the given tree).
+
+    ``metric`` selects the distance (default Euclidean); see
+    :mod:`repro.index.metrics`.
+    """
+    metric = metric or _EUCLIDEAN
+    query = np.asarray(query, dtype=float)
+    stats = SearchStats()
+    candidates = _CandidateSet(k)
+    if tree.size == 0:
+        return [], stats
+    tiebreak = itertools.count()
+    queue: List[Tuple[float, int, Node]] = [(0.0, next(tiebreak), tree.root)]
+    while queue:
+        mindist, _, node = heapq.heappop(queue)
+        if mindist > candidates.bound:
+            break
+        stats.record(node)
+        if node.is_leaf:
+            if node.entries:
+                keys, entries = _leaf_distances(node, query, stats, metric)
+                for key, entry in zip(keys, entries):
+                    candidates.offer(float(key), entry.oid, entry.point)
+        else:
+            for child in node.entries:
+                child_mindist = metric.mindist(child.mbr, query)
+                if child_mindist <= candidates.bound:
+                    heapq.heappush(
+                        queue, (child_mindist, next(tiebreak), child)
+                    )
+    return candidates.neighbors(metric), stats
+
+
+def knn_branch_and_bound(
+    tree: RStarTree,
+    query: Sequence[float],
+    k: int = 1,
+    metric: Optional[Metric] = None,
+) -> Tuple[List[Neighbor], SearchStats]:
+    """RKV 95 depth-first branch-and-bound kNN.
+
+    Children are visited in ``mindist`` order; subtrees are pruned when
+    their ``mindist`` exceeds the current k-th distance, and (for k = 1
+    under the default Euclidean metric) when it exceeds the smallest
+    sibling ``minmaxdist`` — the "all partition lists may be pruned" rule
+    of the paper's Section 2.
+    """
+    custom_metric = metric is not None
+    metric = metric or _EUCLIDEAN
+    query = np.asarray(query, dtype=float)
+    stats = SearchStats()
+    candidates = _CandidateSet(k)
+    if tree.size == 0:
+        return [], stats
+
+    def visit(node: Node) -> None:
+        stats.record(node)
+        if node.is_leaf:
+            if node.entries:
+                keys, entries = _leaf_distances(node, query, stats, metric)
+                for key, entry in zip(keys, entries):
+                    candidates.offer(float(key), entry.oid, entry.point)
+            return
+        branches = sorted(
+            ((metric.mindist(child.mbr, query), index, child)
+             for index, child in enumerate(node.entries)),
+        )
+        if k == 1 and not custom_metric:
+            # MM-pruning: some sibling guarantees a point within its
+            # minmaxdist, so children farther than the best guarantee can
+            # never host the nearest neighbor.  (The bound is derived for
+            # squared Euclidean keys, so it is skipped for custom metrics.)
+            best_guarantee = min(
+                child.mbr.minmaxdist(query) for _, _, child in branches
+            )
+        else:
+            best_guarantee = float("inf")
+        for mindist, _, child in branches:
+            if mindist > candidates.bound or mindist > best_guarantee:
+                continue
+            visit(child)
+
+    visit(tree.root)
+    return candidates.neighbors(metric), stats
+
+
+def knn_linear_scan(
+    points: np.ndarray,
+    query: Sequence[float],
+    k: int = 1,
+    oids: Optional[Sequence[int]] = None,
+    metric: Optional[Metric] = None,
+) -> List[Neighbor]:
+    """Brute-force kNN over a raw point array (testing/baseline oracle)."""
+    metric = metric or _EUCLIDEAN
+    points = np.asarray(points, dtype=float)
+    query = np.asarray(query, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"points must be (N, d), got {points.shape}")
+    if oids is None:
+        oids = np.arange(len(points))
+    keys = metric.point_keys(points, query)
+    k = min(k, len(points))
+    order = np.argsort(keys, kind="stable")[:k]
+    return [
+        Neighbor(float(metric.key_to_distance(keys[i])), int(oids[i]),
+                 points[i])
+        for i in order
+    ]
+
+
+def pages_intersecting_radius(
+    tree: RStarTree, query: Sequence[float], radius: float
+) -> int:
+    """Pages any correct NN algorithm must read for the given kNN radius.
+
+    Counts the pages of all nodes whose MBR intersects the sphere of
+    (Euclidean) ``radius`` around ``query`` — the paper's "data pages
+    intersecting the NN-sphere" (Section 3.1).
+    """
+    query = np.asarray(query, dtype=float)
+    sq_radius = radius * radius
+    pages = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.mbr is None or node.mbr.mindist(query) > sq_radius:
+            continue
+        pages += node.blocks
+        if not node.is_leaf:
+            stack.extend(node.entries)
+    return pages

@@ -1,0 +1,186 @@
+"""Minimum bounding rectangles (MBRs) and the kNN distance metrics.
+
+The R\\*-tree/X-tree substrate stores d-dimensional hyperrectangles.  Besides
+the usual union/area/margin/overlap operations needed by insertion and
+splitting, this module implements the two distance bounds that drive
+nearest-neighbor tree traversal:
+
+* :meth:`MBR.mindist` — minimal possible distance from a query point to any
+  point inside the rectangle (Hjaltason & Samet [HS 95] ordering);
+* :meth:`MBR.minmaxdist` — maximal possible distance to the *nearest* data
+  point guaranteed to exist inside the rectangle (Roussopoulos et al.
+  [RKV 95] pruning bound).
+
+Distances are squared Euclidean throughout; comparisons are monotone under
+the square, and skipping the square root keeps the hot path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MBR"]
+
+
+class MBR:
+    """A d-dimensional closed hyperrectangle ``[low, high]``.
+
+    Instances are mutable on purpose: tree nodes extend their MBR in place
+    during insertion.  ``low`` and ``high`` are float ndarrays of shape
+    ``(d,)`` with ``low <= high`` elementwise.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        self.low = np.asarray(low, dtype=float).copy()
+        self.high = np.asarray(high, dtype=float).copy()
+        if self.low.shape != self.high.shape or self.low.ndim != 1:
+            raise ValueError(
+                f"low/high must be 1-D arrays of equal shape, got "
+                f"{self.low.shape} and {self.high.shape}"
+            )
+        if (self.low > self.high).any():
+            raise ValueError("MBR requires low <= high in every dimension")
+
+    # ------------------------------------------------------------ factory
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        """Degenerate MBR covering a single point."""
+        return cls(point, point)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "MBR":
+        """Tight MBR of an ``(N, d)`` point array (N >= 1)."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(
+                f"points must be a non-empty (N, d) array, got {points.shape}"
+            )
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def union_of(cls, rectangles: Iterable["MBR"]) -> "MBR":
+        """Tight MBR covering all given rectangles (at least one)."""
+        rectangles = list(rectangles)
+        if not rectangles:
+            raise ValueError("union_of requires at least one rectangle")
+        low = np.min([r.low for r in rectangles], axis=0)
+        high = np.max([r.high for r in rectangles], axis=0)
+        return cls(low, high)
+
+    # ---------------------------------------------------------- geometry
+
+    @property
+    def dimension(self) -> int:
+        return self.low.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) / 2.0
+
+    def copy(self) -> "MBR":
+        return MBR(self.low, self.high)
+
+    def area(self) -> float:
+        """Volume of the hyperrectangle."""
+        return float(np.prod(self.high - self.low))
+
+    def margin(self) -> float:
+        """Sum of edge lengths (the R\\* split's surrogate for perimeter)."""
+        return float((self.high - self.low).sum())
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            np.minimum(self.low, other.low), np.maximum(self.high, other.high)
+        )
+
+    def enlarge(self, other: "MBR") -> None:
+        """Grow this MBR in place to cover ``other``."""
+        np.minimum(self.low, other.low, out=self.low)
+        np.maximum(self.high, other.high, out=self.high)
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to absorb ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "MBR") -> bool:
+        return bool(
+            (self.low <= other.high).all() and (other.low <= self.high).all()
+        )
+
+    def overlap(self, other: "MBR") -> float:
+        """Volume of the intersection (0.0 when disjoint)."""
+        widths = np.minimum(self.high, other.high) - np.maximum(
+            self.low, other.low
+        )
+        if (widths < 0).any():
+            return 0.0
+        return float(np.prod(widths))
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        point = np.asarray(point, dtype=float)
+        return bool((self.low <= point).all() and (point <= self.high).all())
+
+    def contains(self, other: "MBR") -> bool:
+        return bool(
+            (self.low <= other.low).all() and (other.high <= self.high).all()
+        )
+
+    # ----------------------------------------------------- kNN distances
+
+    def mindist(self, query: np.ndarray) -> float:
+        """Squared distance from ``query`` to the nearest point of the MBR.
+
+        Zero when the query lies inside.  This is the priority used by the
+        HS 95 incremental best-first traversal.
+        """
+        below = self.low - query
+        above = query - self.high
+        gap = np.maximum(np.maximum(below, above), 0.0)
+        return float(gap @ gap)
+
+    def minmaxdist(self, query: np.ndarray) -> float:
+        """Squared RKV 95 bound: the rectangle is *guaranteed* to contain a
+        data point within this distance of ``query``.
+
+        For every dimension ``k``, some face of the rectangle orthogonal to
+        ``k`` must touch a data point; minimize over ``k`` the worst case of
+        staying near the closer ``k``-face while being farthest in all other
+        dimensions.
+        """
+        query = np.asarray(query, dtype=float)
+        center = self.center
+        # rm[k]: the k-coordinate of the face boundary closer to the query.
+        rm = np.where(query <= center, self.low, self.high)
+        # rM[k]: the k-coordinate farther from the query.
+        r_m = np.where(query >= center, self.low, self.high)
+        near_term = (query - rm) ** 2
+        far_term = (query - r_m) ** 2
+        total_far = far_term.sum()
+        candidates = near_term + (total_far - far_term)
+        return float(candidates.min())
+
+    def maxdist(self, query: np.ndarray) -> float:
+        """Squared distance from ``query`` to the farthest corner."""
+        gap = np.maximum(np.abs(query - self.low), np.abs(query - self.high))
+        return float(gap @ gap)
+
+    # -------------------------------------------------------------- misc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __hash__(self):  # noqa: D105 - mutable, not hashable
+        raise TypeError("MBR is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MBR(low={self.low.tolist()}, high={self.high.tolist()})"

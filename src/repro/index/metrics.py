@@ -1,0 +1,130 @@
+"""Distance metrics for similarity search.
+
+The paper's group emphasized that similarity is user- and
+application-defined (cf. their "user-adaptable similarity search" line of
+work): image retrieval may weight color bins differently, and robust
+matching may prefer L1 over L2.  This module generalizes the kNN machinery
+to any metric that can provide
+
+* a per-point *ranking key* (any monotone transform of the distance —
+  squared Euclidean for L2, the p-th power for Lp — so hot loops skip
+  roots), and
+* a lower bound of that key over an MBR (``mindist``), which is what makes
+  tree pruning correct.
+
+Pass an instance to ``knn_best_first(..., metric=...)`` /
+``knn_branch_and_bound`` / ``knn_linear_scan``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.index.mbr import MBR
+
+__all__ = ["Metric", "Euclidean", "WeightedEuclidean", "LpMetric"]
+
+
+class Metric(abc.ABC):
+    """A distance with tree-pruning support.
+
+    Implementations must keep the three methods consistent: for any point
+    ``x`` inside ``box``, ``mindist(box, q) <= point_keys([x], q)[0]`` and
+    ``key_to_distance`` must be monotone.
+    """
+
+    @abc.abstractmethod
+    def point_keys(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Ranking keys of ``(N, d)`` points against the query."""
+
+    @abc.abstractmethod
+    def mindist(self, box: MBR, query: np.ndarray) -> float:
+        """Lower bound of the ranking key over all points in ``box``."""
+
+    @abc.abstractmethod
+    def key_to_distance(self, key: float) -> float:
+        """Convert a ranking key back to the actual distance."""
+
+    def distance(self, a: Sequence[float], b: Sequence[float]) -> float:
+        """Actual distance between two points."""
+        a = np.asarray(a, dtype=float).reshape(1, -1)
+        b = np.asarray(b, dtype=float)
+        return self.key_to_distance(float(self.point_keys(a, b)[0]))
+
+
+class Euclidean(Metric):
+    """Plain L2; keys are squared distances (the library default)."""
+
+    def point_keys(self, points, query):
+        deltas = points - query
+        return np.einsum("ij,ij->i", deltas, deltas)
+
+    def mindist(self, box, query):
+        return box.mindist(query)
+
+    def key_to_distance(self, key):
+        return math.sqrt(key)
+
+
+class WeightedEuclidean(Metric):
+    """Diagonal-quadratic-form distance ``sqrt(sum w_i (a_i - b_i)^2)``.
+
+    The standard "user preference" similarity: a weight per feature
+    dimension (e.g., hue mattering more than brightness).
+    """
+
+    def __init__(self, weights: Sequence[float]):
+        self.weights = np.asarray(weights, dtype=float)
+        if self.weights.ndim != 1 or (self.weights < 0).any():
+            raise ValueError("weights must be a 1-D non-negative array")
+        if not (self.weights > 0).any():
+            raise ValueError("at least one weight must be positive")
+
+    def point_keys(self, points, query):
+        deltas = points - query
+        return np.einsum("ij,j,ij->i", deltas, self.weights, deltas)
+
+    def mindist(self, box, query):
+        below = box.low - query
+        above = query - box.high
+        gap = np.maximum(np.maximum(below, above), 0.0)
+        return float(self.weights @ (gap * gap))
+
+    def key_to_distance(self, key):
+        return math.sqrt(key)
+
+
+class LpMetric(Metric):
+    """Minkowski L_p distance; ``p = inf`` gives Chebyshev (maximum)."""
+
+    def __init__(self, p: float):
+        if not (p >= 1):
+            raise ValueError(f"p must be >= 1 (or inf), got {p}")
+        self.p = float(p)
+
+    @property
+    def _is_max(self) -> bool:
+        return math.isinf(self.p)
+
+    def point_keys(self, points, query):
+        deltas = np.abs(points - query)
+        if self._is_max:
+            return deltas.max(axis=1)
+        return (deltas**self.p).sum(axis=1)
+
+    def mindist(self, box, query):
+        below = box.low - query
+        above = query - box.high
+        gap = np.maximum(np.maximum(below, above), 0.0)
+        if self._is_max:
+            return float(gap.max())
+        return float((gap**self.p).sum())
+
+    def key_to_distance(self, key):
+        if self._is_max:
+            return key
+        return key ** (1.0 / self.p)

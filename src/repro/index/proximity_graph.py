@@ -1,0 +1,179 @@
+"""Graph-based nearest-neighbor search (the second family of Section 2).
+
+The paper's literature review splits sequential NN algorithms into
+*partitioning* algorithms (Welch's grid, k-d trees, R-trees — all
+implemented in this package) and *graph-based* algorithms, which
+"precalculate some nearest-neighbors of points, store the distances in a
+graph, and use the precalculated information for a more efficient search"
+(RNG* [Ary 95], Voronoi-based methods [PS 85]).
+
+:class:`KNNGraphIndex` implements that family in its modern minimal form:
+a k-NN proximity graph built at load time, searched greedily with a
+best-first beam from random entry points.  The search is *approximate* —
+the recall/work trade-off is controlled by the beam width — which is
+exactly the property that kept graph methods out of the paper's
+exact-search setting and is quantified by the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index.knn import Neighbor, SearchStats
+
+__all__ = ["KNNGraphIndex"]
+
+
+class KNNGraphIndex:
+    """k-NN proximity graph with greedy best-first (beam) search.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` data array.
+    degree:
+        Out-degree of the proximity graph (neighbors precalculated per
+        point).
+    seed:
+        Seed for the search entry points.
+    oids:
+        Object ids, default ``0..N-1``.
+
+    Notes
+    -----
+    Construction computes exact k-NN lists by blocked brute force —
+    O(N²·d) work — so keep N moderate (tens of thousands); the paper's
+    point that precalculation is expensive stands.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        degree: int = 8,
+        seed: int = 0,
+        oids: Optional[Sequence[int]] = None,
+    ):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (N, d), got {points.shape}")
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.points = points
+        self.degree = min(degree, max(1, len(points) - 1))
+        self._rng = np.random.default_rng(seed)
+        if oids is None:
+            oids = np.arange(len(points))
+        self.oids = np.asarray(oids)
+        self.neighbors = self._build_graph() if len(points) else None
+
+    def _build_graph(self) -> np.ndarray:
+        """Exact k-NN adjacency lists, computed in blocks."""
+        count = len(self.points)
+        adjacency = np.empty((count, self.degree), dtype=np.int64)
+        block = max(1, int(2e7 // max(count, 1)))
+        for start in range(0, count, block):
+            stop = min(start + block, count)
+            deltas = self.points[start:stop, None, :] - self.points[None, :, :]
+            sq = np.einsum("ijk,ijk->ij", deltas, deltas)
+            for row, index in enumerate(range(start, stop)):
+                sq[row, index] = np.inf  # exclude self
+            order = np.argpartition(sq, self.degree - 1, axis=1)
+            adjacency[start:stop] = order[:, : self.degree]
+        return adjacency
+
+    def knn(
+        self,
+        query: Sequence[float],
+        k: int = 1,
+        beam_width: int = 32,
+        num_entries: int = 4,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """Approximate kNN by greedy graph traversal.
+
+        ``beam_width`` bounds the candidate pool (larger = higher recall,
+        more distance computations); ``num_entries`` random starting
+        vertices guard against disconnected regions.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if beam_width < k:
+            beam_width = k
+        query = np.asarray(query, dtype=float)
+        stats = SearchStats()
+        if self.neighbors is None:
+            return [], stats
+        count = len(self.points)
+        entries = self._rng.choice(count, min(num_entries, count),
+                                   replace=False)
+
+        def sq_distance(index: int) -> float:
+            delta = self.points[index] - query
+            stats.distance_computations += 1
+            return float(delta @ delta)
+
+        visited = set()
+        # Candidate frontier (min-heap by distance) and result pool
+        # (max-heap of the best beam_width seen).
+        frontier: List[Tuple[float, int]] = []
+        pool: List[Tuple[float, int]] = []
+        for entry in entries:
+            entry = int(entry)
+            if entry in visited:
+                continue
+            visited.add(entry)
+            distance = sq_distance(entry)
+            heapq.heappush(frontier, (distance, entry))
+            heapq.heappush(pool, (-distance, entry))
+        while frontier:
+            distance, vertex = heapq.heappop(frontier)
+            if len(pool) >= beam_width and distance > -pool[0][0]:
+                break  # the nearest unexpanded vertex cannot improve
+            stats.node_accesses += 1  # one adjacency-list fetch
+            for neighbor in self.neighbors[vertex]:
+                neighbor = int(neighbor)
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                neighbor_distance = sq_distance(neighbor)
+                if (
+                    len(pool) < beam_width
+                    or neighbor_distance < -pool[0][0]
+                ):
+                    heapq.heappush(frontier, (neighbor_distance, neighbor))
+                    heapq.heappush(pool, (-neighbor_distance, neighbor))
+                    if len(pool) > beam_width:
+                        heapq.heappop(pool)
+        best = sorted((-key, index) for key, index in pool)[:k]
+        return (
+            [
+                Neighbor(float(np.sqrt(sq)), int(self.oids[i]),
+                         self.points[i])
+                for sq, i in best
+            ],
+            stats,
+        )
+
+    def recall(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        beam_width: int = 32,
+    ) -> float:
+        """Fraction of true k-NN found, averaged over a query batch."""
+        from repro.index.knn import knn_linear_scan
+
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        hits = total = 0
+        for query in queries:
+            truth = {n.oid for n in knn_linear_scan(self.points, query, k,
+                                                    oids=self.oids)}
+            found = {n.oid for n in self.knn(query, k, beam_width)[0]}
+            hits += len(truth & found)
+            total += len(truth)
+        return hits / total if total else 1.0
+
+    def __len__(self) -> int:
+        return len(self.points)

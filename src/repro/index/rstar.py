@@ -1,0 +1,465 @@
+"""R\\*-tree [BKSS 90]: the dynamic index substrate under the X-tree.
+
+Implements the full R\\*-tree insertion pipeline — ChooseSubtree with
+overlap-enlargement at the leaf-parent level, forced reinsertion (once per
+level per insertion), and the topological split (ChooseSplitAxis by margin
+sum, ChooseSplitIndex by overlap then area) — plus deletion with tree
+condensation, point/range/window queries, and structural invariants used by
+the tests.
+
+Node capacities default to what fits a 4 KB page (the paper's page size) at
+the given dimensionality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.index.mbr import MBR
+from repro.index.node import (
+    DEFAULT_PAGE_BYTES,
+    LeafEntry,
+    Node,
+    directory_capacity,
+    leaf_capacity,
+)
+
+__all__ = ["RStarTree"]
+
+Entry = Union[LeafEntry, Node]
+
+
+class RStarTree:
+    """A dynamic R\\*-tree over d-dimensional points.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality of the indexed points.
+    page_bytes:
+        Disk page size used to derive node capacities (default 4 KB).
+    leaf_cap, dir_cap:
+        Explicit capacities; default derived from ``page_bytes``.
+    min_fill:
+        Minimum node utilization as a fraction of capacity (R\\*: 0.4).
+    reinsert_fraction:
+        Fraction of entries force-reinserted on first overflow (R\\*: 0.3).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        leaf_cap: Optional[int] = None,
+        dir_cap: Optional[int] = None,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+    ):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError(f"min_fill must be in (0, 0.5], got {min_fill}")
+        if not 0.0 < reinsert_fraction < 1.0:
+            raise ValueError(
+                f"reinsert_fraction must be in (0, 1), got {reinsert_fraction}"
+            )
+        self.dimension = dimension
+        self.page_bytes = page_bytes
+        self.leaf_cap = leaf_cap or leaf_capacity(dimension, page_bytes)
+        self.dir_cap = dir_cap or directory_capacity(dimension, page_bytes)
+        if self.leaf_cap < 4 or self.dir_cap < 4:
+            raise ValueError("node capacities must be at least 4")
+        self.min_fill = min_fill
+        self.reinsert_fraction = reinsert_fraction
+        self.root = Node(is_leaf=True)
+        self.size = 0
+
+    # ------------------------------------------------------------ basics
+
+    def capacity(self, node: Node) -> int:
+        """Entry capacity of a node (supernodes scale with ``blocks``)."""
+        base = self.leaf_cap if node.is_leaf else self.dir_cap
+        return base * node.blocks
+
+    def min_entries(self, node: Node) -> int:
+        base = self.leaf_cap if node.is_leaf else self.dir_cap
+        return max(2, int(base * self.min_fill))
+
+    @property
+    def height(self) -> int:
+        """Number of levels; a tree holding only a root leaf has height 1."""
+        return self.root.height()
+
+    def leaves(self) -> Sequence[Node]:
+        return self.root.iter_leaves()
+
+    def num_pages(self) -> int:
+        """Total disk pages of the index."""
+        return self.root.count_pages()
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------ insert
+
+    def insert(self, point: Sequence[float], oid: int) -> None:
+        """Insert one point with the given object identifier."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (self.dimension,):
+            raise ValueError(
+                f"point must have shape ({self.dimension},), got {point.shape}"
+            )
+        # One forced reinsert allowed per level per insertion (R* OT1).
+        self._reinserted_levels: set = set()
+        self._insert_entry(LeafEntry(point, oid), level=0)
+        self.size += 1
+
+    def extend(self, points: np.ndarray, oids: Optional[Sequence[int]] = None):
+        """Insert many points; oids default to a running counter."""
+        points = np.asarray(points, dtype=float)
+        if oids is None:
+            oids = range(self.size, self.size + len(points))
+        for point, oid in zip(points, oids):
+            self.insert(point, oid)
+
+    def _level_of(self, node: Node) -> int:
+        """Level of a node counted from the leaves (leaf = 0)."""
+        return node.height() - 1
+
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        path = self._choose_path(entry.mbr, level)
+        node = path[-1]
+        node.entries.append(entry)
+        self._adjust_mbrs(path, entry.mbr)
+        if len(node.entries) > self.capacity(node):
+            self._overflow(path, level)
+
+    def _choose_path(self, entry_mbr: MBR, level: int) -> List[Node]:
+        """Root-to-target path choosing subtrees the R\\* way.
+
+        ``level`` is the tree level (from leaves) at which the entry must be
+        placed: 0 for data points, >0 when reinserting orphaned subtrees.
+        """
+        path = [self.root]
+        node = self.root
+        while self._level_of(node) > level:
+            node = self._choose_subtree(node, entry_mbr)
+            path.append(node)
+        return path
+
+    def _choose_subtree(self, node: Node, entry_mbr: MBR) -> Node:
+        children: List[Node] = node.entries  # type: ignore[assignment]
+        lows = np.vstack([child.mbr.low for child in children])
+        highs = np.vstack([child.mbr.high for child in children])
+        areas = np.prod(highs - lows, axis=1)
+        new_lows = np.minimum(lows, entry_mbr.low)
+        new_highs = np.maximum(highs, entry_mbr.high)
+        new_areas = np.prod(new_highs - new_lows, axis=1)
+        enlargements = new_areas - areas
+        if children[0].is_leaf:
+            # Children are leaves: minimize overlap enlargement
+            # (ties: area enlargement, then area).  Pairwise overlap of the
+            # enlarged candidate against all siblings, vectorized.
+            def pairwise_overlap(c_lows, c_highs):
+                widths = np.minimum(c_highs[:, None, :], highs[None, :, :])
+                widths -= np.maximum(c_lows[:, None, :], lows[None, :, :])
+                return np.clip(widths, 0.0, None).prod(axis=2)
+
+            before = pairwise_overlap(lows, highs)
+            after = pairwise_overlap(new_lows, new_highs)
+            np.fill_diagonal(before, 0.0)
+            np.fill_diagonal(after, 0.0)
+            deltas = after.sum(axis=1) - before.sum(axis=1)
+            order = np.lexsort((areas, enlargements, deltas))
+        else:
+            # Children are directory nodes: minimize area enlargement.
+            order = np.lexsort((areas, enlargements))
+        return children[int(order[0])]
+
+    def _adjust_mbrs(self, path: List[Node], entry_mbr: MBR) -> None:
+        for node in path:
+            node.extend_mbr(entry_mbr)
+
+    # ---------------------------------------------------------- overflow
+
+    def _overflow(self, path: List[Node], level: int) -> None:
+        node = path[-1]
+        is_root = node is self.root
+        if not is_root and level not in self._reinserted_levels:
+            self._reinserted_levels.add(level)
+            self._reinsert(path, level)
+        else:
+            self._split_node(path, level)
+
+    def _reinsert(self, path: List[Node], level: int) -> None:
+        """R\\* forced reinsert: evict the entries farthest from the node
+        center and insert them again (close reinsert)."""
+        node = path[-1]
+        center = node.mbr.center
+        keyed = sorted(
+            node.entries,
+            key=lambda entry: float(
+                np.sum((entry.mbr.center - center) ** 2)
+            ),
+        )
+        count = max(1, int(len(keyed) * self.reinsert_fraction))
+        keep, evicted = keyed[:-count], keyed[-count:]
+        node.entries = list(keep)
+        node.recompute_mbr()
+        for ancestor in reversed(path[:-1]):
+            ancestor.recompute_mbr()
+        # Close reinsert: nearest evicted entries first.
+        for entry in evicted:
+            self._insert_entry(entry, level)
+
+    def _split_node(self, path: List[Node], level: int) -> None:
+        node = path[-1]
+        split = self._split_entries(node)
+        if split is None:
+            return  # subclass absorbed the overflow (X-tree supernode)
+        left_entries, right_entries, axis = split
+        self._apply_split(path, node, left_entries, right_entries, axis)
+
+    def _apply_split(
+        self,
+        path: List[Node],
+        node: Node,
+        left_entries: List[Entry],
+        right_entries: List[Entry],
+        axis: int,
+    ) -> None:
+        history = node.split_history | {axis}
+        right = Node(
+            node.is_leaf, right_entries, split_history=set(history)
+        )
+        node.entries = left_entries
+        node.blocks = 1
+        node.split_history = set(history)
+        node.recompute_mbr()
+        if node is self.root:
+            new_root = Node(is_leaf=False, entries=[node, right])
+            self.root = new_root
+            return
+        parent = path[-2]
+        parent.entries.append(right)
+        parent.recompute_mbr()
+        for ancestor in reversed(path[:-1]):
+            ancestor.recompute_mbr()
+        if len(parent.entries) > self.capacity(parent):
+            self._overflow(path[:-1], self._level_of(parent))
+
+    # The topological (R*) split. Returns (left, right, axis) or None when a
+    # subclass decides not to split at all.
+    def _split_entries(
+        self, node: Node
+    ) -> Optional[Tuple[List[Entry], List[Entry], int]]:
+        return self._topological_split(node)
+
+    @staticmethod
+    def _entry_bounds(entries: List[Entry]) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked (lows, highs) arrays of the entries' MBRs."""
+        if isinstance(entries[0], LeafEntry):
+            points = np.vstack([e.point for e in entries])
+            return points, points
+        lows = np.vstack([e.mbr.low for e in entries])
+        highs = np.vstack([e.mbr.high for e in entries])
+        return lows, highs
+
+    def _topological_split(
+        self, node: Node
+    ) -> Tuple[List[Entry], List[Entry], int]:
+        """The R\\* split, fully vectorized.
+
+        ChooseSplitAxis: the axis with minimal margin sum over all candidate
+        distributions of both orderings (by low and by high value).
+        ChooseSplitIndex: on that axis, the distribution with minimal
+        overlap, ties broken by combined area.
+        """
+        entries = node.entries
+        lows, highs = self._entry_bounds(entries)
+        total = len(entries)
+        min_entries = self.min_entries(node)
+        positions = np.arange(min_entries, total - min_entries + 1)
+
+        best_axis = 0
+        best_margin = None
+        # Per axis: (overlap, area) of the best distribution plus how to
+        # materialize it (ordering indices and the split position).
+        per_axis_choice = {}
+        for axis in range(self.dimension):
+            margin_total = 0.0
+            axis_best = None
+            for sort_key in (lows[:, axis], highs[:, axis]):
+                order = np.argsort(sort_key, kind="stable")
+                o_lows, o_highs = lows[order], highs[order]
+                left_low = np.minimum.accumulate(o_lows, axis=0)
+                left_high = np.maximum.accumulate(o_highs, axis=0)
+                right_low = np.minimum.accumulate(o_lows[::-1], axis=0)[::-1]
+                right_high = np.maximum.accumulate(o_highs[::-1], axis=0)[::-1]
+                # Split k puts entries [0, k) left and [k, total) right.
+                ll, lh = left_low[positions - 1], left_high[positions - 1]
+                rl, rh = right_low[positions], right_high[positions]
+                margins = (lh - ll).sum(axis=1) + (rh - rl).sum(axis=1)
+                margin_total += float(margins.sum())
+                widths = np.minimum(lh, rh) - np.maximum(ll, rl)
+                overlaps = np.clip(widths, 0.0, None).prod(axis=1)
+                areas = (lh - ll).prod(axis=1) + (rh - rl).prod(axis=1)
+                pick = int(np.lexsort((areas, overlaps))[0])
+                key = (float(overlaps[pick]), float(areas[pick]))
+                if axis_best is None or key < axis_best[0]:
+                    axis_best = (key, order, int(positions[pick]))
+            per_axis_choice[axis] = axis_best
+            if best_margin is None or margin_total < best_margin:
+                best_margin = margin_total
+                best_axis = axis
+
+        _, order, split_at = per_axis_choice[best_axis]
+        left = [entries[i] for i in order[:split_at]]
+        right = [entries[i] for i in order[split_at:]]
+        return left, right, best_axis
+
+    @staticmethod
+    def _split_positions(total: int, min_entries: int) -> range:
+        """Valid split points leaving >= min_entries on both sides."""
+        return range(min_entries, total - min_entries + 1)
+
+    # ------------------------------------------------------------ delete
+
+    def delete(self, point: Sequence[float], oid: int) -> bool:
+        """Remove the entry with the given oid at the given point.
+
+        Returns True if an entry was removed.  Underflowing nodes are
+        dissolved and their entries reinserted (R-tree CondenseTree).
+        """
+        point = np.asarray(point, dtype=float)
+        found = self._find_leaf(self.root, [], point, oid)
+        if found is None:
+            return False
+        path, entry = found
+        leaf = path[-1]
+        leaf.entries.remove(entry)
+        self.size -= 1
+        self._condense(path)
+        # Shrink the root while it is a directory with a single child.
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0]
+        if self.size == 0:
+            self.root = Node(is_leaf=True)
+        return True
+
+    def _find_leaf(
+        self, node: Node, path: List[Node], point: np.ndarray, oid: int
+    ) -> Optional[Tuple[List[Node], LeafEntry]]:
+        path = path + [node]
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.oid == oid and np.array_equal(entry.point, point):
+                    return path, entry
+            return None
+        for child in node.entries:
+            if child.mbr is not None and child.mbr.contains_point(point):
+                found = self._find_leaf(child, path, point, oid)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: List[Node]) -> None:
+        """CondenseTree: dissolve underfull nodes along the deletion path
+        and reinsert their data points.
+
+        Orphaned subtrees are decomposed into their leaf entries, which
+        are reinserted at level 0 — simpler than the classic same-level
+        subtree reinsertion and immune to height changes happening during
+        the reinsertion cascade.
+        """
+        orphans: List[LeafEntry] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if len(node.entries) < self.min_entries(node):
+                parent.entries.remove(node)
+                for leaf in node.iter_leaves():
+                    orphans.extend(leaf.entries)
+            else:
+                node.recompute_mbr()
+        path[0].recompute_mbr()
+        # The root may have become an empty leaf holder; normalize before
+        # reinserting so _choose_path has a valid tree to descend.
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0]
+        if not self.root.is_leaf and not self.root.entries:
+            self.root = Node(is_leaf=True)
+        for entry in orphans:
+            self._reinserted_levels = set()
+            self._insert_entry(entry, 0)
+
+    # ------------------------------------------------------------- query
+
+    def window_query(
+        self, low: Sequence[float], high: Sequence[float]
+    ) -> List[LeafEntry]:
+        """All entries inside the axis-aligned window ``[low, high]``."""
+        window = MBR(low, high)
+        results: List[LeafEntry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(window):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    entry
+                    for entry in node.entries
+                    if window.contains_point(entry.point)
+                )
+            else:
+                stack.extend(node.entries)
+        return results
+
+    def point_query(self, point: Sequence[float]) -> List[LeafEntry]:
+        """All entries exactly at ``point``."""
+        return self.window_query(point, point)
+
+    def all_entries(self) -> List[LeafEntry]:
+        """Every stored entry (left-to-right leaf order)."""
+        return [entry for leaf in self.leaves() for entry in leaf.entries]
+
+    # -------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated.
+
+        Checked: MBRs tight over children, leaf levels equal, node fill
+        within bounds (root exempt; supernodes allowed above base
+        capacity), size consistent.
+        """
+        leaf_depths = []
+
+        def visit(node: Node, depth: int) -> int:
+            if node is not self.root:
+                assert len(node.entries) >= self.min_entries(node), (
+                    f"underfull node: {len(node.entries)}"
+                )
+            assert len(node.entries) <= self.capacity(node), (
+                f"overfull node: {len(node.entries)} > {self.capacity(node)}"
+            )
+            if node.is_leaf:
+                leaf_depths.append(depth)
+                if node.entries:
+                    points = np.vstack([e.point for e in node.entries])
+                    tight = MBR.from_points(points)
+                    assert node.mbr == tight, "leaf MBR not tight"
+                return len(node.entries)
+            count = 0
+            for child in node.entries:
+                assert node.mbr.contains(child.mbr), "child MBR escapes parent"
+                count += visit(child, depth + 1)
+            tight = MBR.union_of(c.mbr for c in node.entries)
+            assert node.mbr == tight, "directory MBR not tight"
+            return count
+
+        total = visit(self.root, 0) if self.size else 0
+        assert total == self.size, f"size mismatch: {total} != {self.size}"
+        assert len(set(leaf_depths)) <= 1, "leaves at differing depths"

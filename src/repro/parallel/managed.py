@@ -1,0 +1,192 @@
+"""Self-reorganizing declustered store (dynamic α-quantile maintenance).
+
+The paper's Section 4.3 sketches dynamic operation: the system counts how
+many inserted points fall below/above each split value and reorganizes the
+declustering when the ratio drifts past a threshold; the conclusion lists
+"optimization of the reorganization process" as future work.
+
+:class:`ManagedStore` implements that loop end to end on top of the
+item-level store:
+
+* inserts stream through an :class:`~repro.core.adaptive.AdaptiveSplitTracker`;
+* when the tracker flags drift (and a minimum batch has arrived), the
+  store recomputes the α-quantile split values, refits the declusterer
+  (including recursive refinement if enabled) and redistributes the data;
+* a reorganization log records when and why each rebuild happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adaptive import AdaptiveSplitTracker
+from repro.core.recursive import RecursiveDeclusterer
+from repro.core.vertex_coloring import NearOptimalDeclusterer, colors_required
+from repro.index.knn import Neighbor
+from repro.parallel.engine import ParallelEngine, ParallelQueryResult
+from repro.parallel.store import DeclusteredStore
+
+__all__ = ["ManagedStore", "ReorganizationEvent"]
+
+
+@dataclass(frozen=True)
+class ReorganizationEvent:
+    """One automatic rebuild of the declustering."""
+
+    at_size: int
+    worst_ratio: float
+    imbalance_before: float
+    imbalance_after: float
+
+
+class ManagedStore:
+    """A declustered store that keeps itself balanced under insertions.
+
+    Parameters
+    ----------
+    dimension, num_disks:
+        Feature-space dimensionality and disk count (defaults to the
+        ``col`` color count).
+    alpha, drift_threshold:
+        Quantile target and tolerated below/above drift ratio per
+        dimension before reorganizing.
+    min_batch:
+        Minimum number of inserts between reorganizations (prevents
+        thrashing on small samples).
+    recursive:
+        Refit a :class:`~repro.core.recursive.RecursiveDeclusterer` on
+        each reorganization (for clustered/correlated streams); otherwise
+        the plain quantile-split :class:`NearOptimalDeclusterer` is used.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        num_disks: Optional[int] = None,
+        alpha: float = 0.5,
+        drift_threshold: float = 2.0,
+        min_batch: int = 500,
+        recursive: bool = False,
+    ):
+        if num_disks is None:
+            num_disks = colors_required(dimension)
+        self.dimension = dimension
+        self.num_disks = num_disks
+        self.alpha = alpha
+        self.min_batch = min_batch
+        self.recursive = recursive
+        self.tracker = AdaptiveSplitTracker(
+            dimension, alpha=alpha, threshold=drift_threshold
+        )
+        self.events: List[ReorganizationEvent] = []
+        self._points = np.zeros((0, dimension))
+        self._oids = np.zeros(0, dtype=np.int64)
+        self._pending = 0
+        self._store: Optional[DeclusteredStore] = None
+        self._engine: Optional[ParallelEngine] = None
+        self._rebuild()
+
+    # ---------------------------------------------------------- plumbing
+
+    def _make_declusterer(self):
+        splits = self.tracker.split_values
+        if self.recursive and len(self._points):
+            declusterer = RecursiveDeclusterer(
+                self.dimension, self.num_disks, alpha=self.alpha,
+                split_values=splits,
+            )
+            declusterer.fit(self._points)
+            return declusterer
+        return NearOptimalDeclusterer(
+            self.dimension, self.num_disks, split_values=splits
+        )
+
+    def _rebuild(self) -> None:
+        self._store = DeclusteredStore(
+            self._points, self._make_declusterer(), oids=self._oids
+        )
+        self._engine = ParallelEngine(self._store)
+
+    def _imbalance(self) -> float:
+        loads = self._store.disk_loads().astype(float)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean else 1.0
+
+    # ------------------------------------------------------------ public
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def store(self) -> DeclusteredStore:
+        return self._store
+
+    @property
+    def reorganizations(self) -> int:
+        return len(self.events)
+
+    def insert(self, point: Sequence[float], oid: int) -> None:
+        """Insert a point; may trigger an automatic reorganization."""
+        point = np.asarray(point, dtype=float).reshape(1, -1)
+        if point.shape[1] != self.dimension:
+            raise ValueError(
+                f"point has dimension {point.shape[1]}, "
+                f"expected {self.dimension}"
+            )
+        self.tracker.observe(point)
+        self._points = np.vstack([self._points, point])
+        self._oids = np.append(self._oids, oid)
+        self._store.insert(point[0], oid)
+        self._pending += 1
+        if (
+            self._pending >= self.min_batch
+            and self.tracker.needs_reorganization()
+        ):
+            self.reorganize()
+
+    def extend(self, points: np.ndarray,
+               oids: Optional[Sequence[int]] = None) -> None:
+        """Insert a batch (checking for reorganization once at the end)."""
+        points = np.asarray(points, dtype=float)
+        if oids is None:
+            start = int(self._oids.max()) + 1 if len(self._oids) else 0
+            oids = np.arange(start, start + len(points))
+        self.tracker.observe(points)
+        self._points = np.vstack([self._points, points])
+        self._oids = np.append(self._oids, np.asarray(oids))
+        self._pending += len(points)
+        if (
+            self._pending >= self.min_batch
+            and self.tracker.needs_reorganization()
+        ):
+            self.reorganize()
+        else:
+            self._rebuild()
+
+    def reorganize(self) -> ReorganizationEvent:
+        """Force a reorganization now; returns the logged event."""
+        worst = float(np.max(self.tracker.imbalance_ratios()))
+        before = self._imbalance()
+        if len(self._points):
+            self.tracker.reorganize(self._points)
+        self._rebuild()
+        event = ReorganizationEvent(
+            at_size=len(self._points),
+            worst_ratio=worst,
+            imbalance_before=before,
+            imbalance_after=self._imbalance(),
+        )
+        self.events.append(event)
+        self._pending = 0
+        return event
+
+    def query(self, query: Sequence[float], k: int = 1) -> ParallelQueryResult:
+        """Parallel kNN over the current declustering."""
+        return self._engine.query(query, k)
+
+    def neighbors(self, query: Sequence[float], k: int = 1) -> List[Neighbor]:
+        """Convenience: just the kNN result list."""
+        return self.query(query, k).neighbors

@@ -1,0 +1,131 @@
+"""Declustered data store: one X-tree per disk.
+
+The parallel X-tree of the paper partitions the data over the disks by a
+declustering method; every disk then maintains a local index over its
+share.  :class:`DeclusteredStore` performs the partitioning (through any
+:class:`~repro.core.declustering.Declusterer`) and bulk-loads one local
+tree per disk.  Incremental :meth:`insert`/:meth:`delete` route through the
+same declusterer, matching the paper's "completely dynamical" operation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.core.declustering import Declusterer, load_balance
+from repro.index.bulk import bulk_load
+from repro.index.node import DEFAULT_PAGE_BYTES
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+__all__ = ["DeclusteredStore"]
+
+
+class DeclusteredStore:
+    """Points partitioned over ``n`` disks, each with a local index.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` data array.
+    declusterer:
+        Any declusterer with matching dimension; its ``num_disks`` defines
+        the disk count.
+    tree_cls:
+        Index class per disk (default :class:`~repro.index.xtree.XTree`).
+    page_bytes:
+        Disk page size (4 KB in the paper).
+    oids:
+        Global object ids, default ``0..N-1``.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        declusterer: Declusterer,
+        tree_cls: Type[RStarTree] = XTree,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+        oids: Optional[Sequence[int]] = None,
+    ):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise ValueError(f"points must be (N, d), got {points.shape}")
+        if points.shape[1] != declusterer.dimension:
+            raise ValueError(
+                f"points dimension {points.shape[1]} does not match "
+                f"declusterer dimension {declusterer.dimension}"
+            )
+        self.points = points
+        self.declusterer = declusterer
+        self.num_disks = declusterer.num_disks
+        self.dimension = declusterer.dimension
+        self.page_bytes = page_bytes
+        if oids is None:
+            oids = np.arange(len(points))
+        self.oids = np.asarray(oids)
+        if self.oids.shape != (len(points),):
+            raise ValueError("oids must have one id per point")
+
+        self.assignment = np.asarray(declusterer.assign(points))
+        if self.assignment.shape != (len(points),):
+            raise ValueError("declusterer returned a malformed assignment")
+        self.trees: List[RStarTree] = []
+        for disk in range(self.num_disks):
+            mask = self.assignment == disk
+            tree = bulk_load(
+                points[mask],
+                oids=self.oids[mask],
+                tree_cls=tree_cls,
+                page_bytes=page_bytes,
+            )
+            self.trees.append(tree)
+
+    # ----------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def disk_loads(self) -> np.ndarray:
+        """Number of points stored per disk."""
+        return load_balance(self.assignment, self.num_disks)
+
+    def pages_per_disk(self) -> np.ndarray:
+        """Index pages occupied on each disk."""
+        return np.array([tree.num_pages() for tree in self.trees])
+
+    # ----------------------------------------------------------- updates
+
+    def insert(self, point: Sequence[float], oid: int) -> int:
+        """Insert a point; returns the disk it was routed to."""
+        point = np.asarray(point, dtype=float)
+        disk = int(self.declusterer.assign(point.reshape(1, -1))[0])
+        self.trees[disk].insert(point, oid)
+        self.points = np.vstack([self.points, point])
+        self.oids = np.append(self.oids, oid)
+        self.assignment = np.append(self.assignment, disk)
+        return disk
+
+    def delete(self, point: Sequence[float], oid: int) -> bool:
+        """Delete a point by value and oid from whichever disk holds it."""
+        point = np.asarray(point, dtype=float)
+        positions = np.nonzero(self.oids == oid)[0]
+        for position in positions:
+            if not np.array_equal(self.points[position], point):
+                continue
+            disk = int(self.assignment[position])
+            if self.trees[disk].delete(point, oid):
+                keep = np.ones(len(self.points), dtype=bool)
+                keep[position] = False
+                self.points = self.points[keep]
+                self.oids = self.oids[keep]
+                self.assignment = self.assignment[keep]
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeclusteredStore(n={len(self.points)}, d={self.dimension}, "
+            f"disks={self.num_disks}, declusterer={self.declusterer.name})"
+        )

@@ -1,0 +1,233 @@
+"""Exact serialization of trees and declustered stores.
+
+A database index must survive a restart.  :func:`save_tree` /
+:func:`load_tree` serialize an R\\*/X-tree *exactly* — the same nodes, the
+same entry order, the same supernode widths — into a single compressed
+``.npz`` file, so page-level experiment numbers are bit-for-bit
+reproducible after a round trip.  :func:`save_paged_store` /
+:func:`load_paged_store` additionally persist the page-to-disk map of a
+:class:`~repro.parallel.paged.PagedStore` (as a frozen assignment, since
+arbitrary declusterers are code, not data).
+
+Format: flat numpy arrays (one element per node / per point) plus a JSON
+header with the tree's scalar parameters.  Nodes are numbered in
+depth-first pre-order; MBRs are recomputed on load (they are derived
+state).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.index.node import LeafEntry, Node
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+from repro.parallel.paged import PagedStore
+
+__all__ = [
+    "save_tree",
+    "load_tree",
+    "save_paged_store",
+    "load_paged_store",
+    "FrozenAssignment",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _flatten(tree: RStarTree):
+    """Walk the tree in pre-order, producing flat per-node arrays."""
+    node_is_leaf: List[bool] = []
+    node_blocks: List[int] = []
+    first_child: List[int] = []
+    child_count: List[int] = []
+    history_nodes: List[int] = []
+    history_axes: List[int] = []
+    points: List[np.ndarray] = []
+    oids: List[int] = []
+    point_leaf: List[int] = []
+
+    order: List[Node] = []
+
+    def visit(node: Node) -> int:
+        node_id = len(order)
+        order.append(node)
+        node_is_leaf.append(node.is_leaf)
+        node_blocks.append(node.blocks)
+        first_child.append(-1)
+        child_count.append(0)
+        for axis in sorted(node.split_history):
+            history_nodes.append(node_id)
+            history_axes.append(axis)
+        if node.is_leaf:
+            for entry in node.entries:
+                points.append(entry.point)
+                oids.append(entry.oid)
+                point_leaf.append(node_id)
+        else:
+            child_ids = [visit(child) for child in node.entries]
+            if child_ids:
+                first_child[node_id] = child_ids[0]
+                child_count[node_id] = len(child_ids)
+        return node_id
+
+    visit(tree.root)
+    return {
+        "node_is_leaf": np.array(node_is_leaf, dtype=bool),
+        "node_blocks": np.array(node_blocks, dtype=np.int64),
+        "first_child": np.array(first_child, dtype=np.int64),
+        "child_count": np.array(child_count, dtype=np.int64),
+        "history_nodes": np.array(history_nodes, dtype=np.int64),
+        "history_axes": np.array(history_axes, dtype=np.int64),
+        "points": (
+            np.vstack(points) if points
+            else np.zeros((0, tree.dimension))
+        ),
+        "oids": np.array(oids, dtype=np.int64),
+        "point_leaf": np.array(point_leaf, dtype=np.int64),
+    }
+
+
+def _tree_header(tree: RStarTree) -> dict:
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "tree_class": type(tree).__name__,
+        "dimension": tree.dimension,
+        "page_bytes": tree.page_bytes,
+        "leaf_cap": tree.leaf_cap,
+        "dir_cap": tree.dir_cap,
+        "min_fill": tree.min_fill,
+        "reinsert_fraction": tree.reinsert_fraction,
+        "size": tree.size,
+    }
+    if isinstance(tree, XTree):
+        header["max_overlap"] = tree.max_overlap
+        header["max_blocks"] = tree.max_blocks
+    return header
+
+
+def save_tree(tree: RStarTree, path: Union[str, os.PathLike]) -> None:
+    """Serialize a tree into a compressed ``.npz`` file."""
+    arrays = _flatten(tree)
+    arrays["header"] = np.array(json.dumps(_tree_header(tree)))
+    np.savez_compressed(path, **arrays)
+
+
+def _rebuild_tree(data) -> RStarTree:
+    header = json.loads(str(data["header"]))
+    if header["format_version"] != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {header['format_version']}"
+        )
+    common = dict(
+        page_bytes=header["page_bytes"],
+        leaf_cap=header["leaf_cap"],
+        dir_cap=header["dir_cap"],
+        min_fill=header["min_fill"],
+        reinsert_fraction=header["reinsert_fraction"],
+    )
+    if header["tree_class"] == "XTree":
+        tree: RStarTree = XTree(
+            header["dimension"],
+            max_overlap=header["max_overlap"],
+            max_blocks=header["max_blocks"],
+            **common,
+        )
+    elif header["tree_class"] == "RStarTree":
+        tree = RStarTree(header["dimension"], **common)
+    else:
+        raise ValueError(f"unknown tree class {header['tree_class']!r}")
+
+    node_is_leaf = data["node_is_leaf"]
+    node_blocks = data["node_blocks"]
+    first_child = data["first_child"]
+    child_count = data["child_count"]
+    points = data["points"]
+    oids = data["oids"]
+    point_leaf = data["point_leaf"]
+
+    nodes = [
+        Node(is_leaf=bool(is_leaf), blocks=int(blocks))
+        for is_leaf, blocks in zip(node_is_leaf, node_blocks)
+    ]
+    for node_id, axis in zip(data["history_nodes"], data["history_axes"]):
+        nodes[int(node_id)].split_history.add(int(axis))
+    # Children are contiguous in pre-order only per sibling group; we
+    # recorded (first_child, count), and pre-order guarantees the k-th
+    # sibling's id is first_child advanced past the (k-1) preceding
+    # subtrees — recover via subtree sizes.
+    subtree_size = np.ones(len(nodes), dtype=np.int64)
+    for node_id in range(len(nodes) - 1, -1, -1):
+        if node_is_leaf[node_id]:
+            continue
+        child = int(first_child[node_id])
+        for _ in range(int(child_count[node_id])):
+            nodes[node_id].entries.append(nodes[child])
+            subtree_size[node_id] += subtree_size[child]
+            child += int(subtree_size[child])
+    for point, oid, leaf_id in zip(points, oids, point_leaf):
+        nodes[int(leaf_id)].entries.append(LeafEntry(point, int(oid)))
+    for node in reversed(nodes):  # children before parents in pre-order
+        node.recompute_mbr()
+    tree.root = nodes[0]
+    tree.size = len(points)
+    return tree
+
+
+def load_tree(path: Union[str, os.PathLike]) -> RStarTree:
+    """Load a tree previously written by :func:`save_tree`."""
+    with np.load(path, allow_pickle=False) as data:
+        return _rebuild_tree(data)
+
+
+class FrozenAssignment:
+    """A page-to-disk map restored from disk (a fixed table, not code)."""
+
+    name = "frozen"
+
+    def __init__(self, page_disks: np.ndarray):
+        self.page_disks = np.asarray(page_disks, dtype=np.int64)
+
+    def __call__(self, centers: np.ndarray) -> np.ndarray:
+        if len(centers) != len(self.page_disks):
+            raise ValueError(
+                f"store has {len(centers)} pages but the frozen assignment "
+                f"covers {len(self.page_disks)}; re-decluster after updates"
+            )
+        return self.page_disks.copy()
+
+
+def save_paged_store(
+    store: PagedStore, path: Union[str, os.PathLike]
+) -> None:
+    """Serialize a PagedStore (tree + page-to-disk map)."""
+    arrays = _flatten(store.tree)
+    header = _tree_header(store.tree)
+    header["num_disks"] = store.num_disks
+    arrays["header"] = np.array(json.dumps(header))
+    arrays["page_disks"] = np.asarray(store.page_disks, dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_paged_store(path: Union[str, os.PathLike]) -> PagedStore:
+    """Load a PagedStore written by :func:`save_paged_store`.
+
+    The page-to-disk assignment is restored as a
+    :class:`FrozenAssignment`; to re-decluster after structural updates,
+    build a fresh :class:`~repro.parallel.paged.PagedStore` with a real
+    declusterer.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        tree = _rebuild_tree(data)
+        header = json.loads(str(data["header"]))
+        page_disks = data["page_disks"]
+        return PagedStore(
+            tree=tree,
+            declusterer=FrozenAssignment(page_disks),
+            num_disks=int(header["num_disks"]),
+            page_bytes=header["page_bytes"],
+        )

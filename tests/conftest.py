@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_uniform(rng):
+    """500 uniform points in 6 dimensions."""
+    return rng.random((500, 6))
+
+
+@pytest.fixture
+def medium_uniform(rng):
+    """3000 uniform points in 8 dimensions."""
+    return rng.random((3000, 8))

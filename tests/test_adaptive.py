@@ -1,0 +1,90 @@
+"""Tests for α-quantile split values and the adaptive tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.adaptive import AdaptiveSplitTracker, quantile_split_values
+
+
+class TestQuantileSplitValues:
+    def test_median_balances_each_dimension(self, rng):
+        points = rng.random((2001, 5)) ** 2  # skewed toward 0
+        splits = quantile_split_values(points)
+        for dim in range(5):
+            above = (points[:, dim] >= splits[dim]).mean()
+            assert 0.45 <= above <= 0.55
+
+    def test_alpha_parameter(self, rng):
+        points = rng.random((5000, 3))
+        splits = quantile_split_values(points, alpha=0.9)
+        assert (splits > 0.8).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile_split_values(np.zeros((0, 3)))
+
+    def test_rejects_bad_alpha(self, rng):
+        with pytest.raises(ValueError):
+            quantile_split_values(rng.random((10, 2)), alpha=0.0)
+        with pytest.raises(ValueError):
+            quantile_split_values(rng.random((10, 2)), alpha=1.0)
+
+
+class TestAdaptiveSplitTracker:
+    def test_initial_state(self):
+        tracker = AdaptiveSplitTracker(4)
+        assert tracker.observed == 0
+        assert not tracker.needs_reorganization()
+        assert tracker.split_values.tolist() == [0.5] * 4
+
+    def test_balanced_stream_never_triggers(self, rng):
+        tracker = AdaptiveSplitTracker(3, threshold=2.0)
+        tracker.observe(rng.random((5000, 3)))
+        assert not tracker.needs_reorganization()
+
+    def test_skewed_stream_triggers(self, rng):
+        tracker = AdaptiveSplitTracker(3, threshold=2.0)
+        tracker.observe(rng.random((2000, 3)) * 0.4)  # all below 0.5
+        assert tracker.needs_reorganization()
+        ratios = tracker.imbalance_ratios()
+        assert np.isinf(ratios).all()
+
+    def test_reorganize_restores_balance(self, rng):
+        tracker = AdaptiveSplitTracker(3, threshold=1.5)
+        points = rng.random((4000, 3)) * 0.4
+        tracker.observe(points)
+        assert tracker.needs_reorganization()
+        new_splits = tracker.reorganize(points)
+        assert (new_splits < 0.45).all()
+        assert tracker.observed == 0
+        assert tracker.reorganizations == 1
+        tracker.observe(points)
+        assert not tracker.needs_reorganization()
+
+    def test_single_point_observe(self):
+        tracker = AdaptiveSplitTracker(2)
+        tracker.observe(np.array([0.7, 0.2]))
+        assert tracker.observed == 1
+
+    def test_dimension_mismatch(self):
+        tracker = AdaptiveSplitTracker(3)
+        with pytest.raises(ValueError):
+            tracker.observe(np.zeros((5, 4)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveSplitTracker(0)
+        with pytest.raises(ValueError):
+            AdaptiveSplitTracker(3, alpha=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveSplitTracker(3, threshold=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveSplitTracker(3, initial_split_values=np.zeros(2))
+
+    @given(st.integers(1, 6), st.integers(0, 50))
+    def test_ratios_nonnegative(self, dimension, seed):
+        tracker = AdaptiveSplitTracker(dimension)
+        rng = np.random.default_rng(seed)
+        tracker.observe(rng.random((100, dimension)))
+        assert (tracker.imbalance_ratios() >= 1.0).all()

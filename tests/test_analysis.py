@@ -1,0 +1,172 @@
+"""Tests for the analytical cost model and neighborhood math."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cost_model import (
+    expected_nn_distance,
+    expected_pages_touched,
+    monte_carlo_surface_probability,
+    nn_distance_sample,
+    surface_probability,
+    unit_sphere_volume,
+)
+from repro.analysis.neighbors import (
+    bucket_mindist,
+    buckets_intersecting_sphere,
+    crossed_dimensions,
+    neighborhood_size,
+)
+
+
+class TestSphereVolume:
+    def test_known_values(self):
+        assert unit_sphere_volume(1) == pytest.approx(2.0)
+        assert unit_sphere_volume(2) == pytest.approx(math.pi)
+        assert unit_sphere_volume(3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_volume_peaks_at_d5(self):
+        volumes = [unit_sphere_volume(d) for d in range(1, 20)]
+        assert max(volumes) == volumes[4]  # d = 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            unit_sphere_volume(0)
+
+
+class TestNNDistance:
+    def test_radius_grows_with_dimension(self):
+        radii = [expected_nn_distance(100_000, d) for d in (2, 8, 16, 32)]
+        assert radii == sorted(radii)
+        assert radii[-1] > 1.0  # sphere exceeds the data space (the paper's
+        # core observation)
+
+    def test_radius_grows_with_k(self):
+        assert expected_nn_distance(1000, 4, k=10) > expected_nn_distance(
+            1000, 4, k=1
+        )
+
+    def test_radius_shrinks_with_n(self):
+        assert expected_nn_distance(10_000, 4) < expected_nn_distance(100, 4)
+
+    def test_model_close_to_empirical_low_d(self):
+        model = expected_nn_distance(20_000, 2)
+        empirical = nn_distance_sample(20_000, 2, queries=100, seed=1)
+        assert model == pytest.approx(empirical, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_nn_distance(0, 3)
+        with pytest.raises(ValueError):
+            expected_nn_distance(10, 3, k=0)
+
+
+class TestSurfaceProbability:
+    def test_formula(self):
+        # p = 1 - 0.8^d for margin 0.1.
+        for dimension in (1, 4, 16):
+            assert surface_probability(dimension) == pytest.approx(
+                1.0 - 0.8**dimension
+            )
+
+    def test_paper_value_d16(self):
+        assert surface_probability(16) > 0.97
+
+    def test_monte_carlo_agrees(self):
+        for dimension in (2, 8, 16):
+            analytic = surface_probability(dimension)
+            empirical = monte_carlo_surface_probability(
+                dimension, samples=50_000, seed=2
+            )
+            assert empirical == pytest.approx(analytic, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            surface_probability(4, margin=0.6)
+
+
+class TestPagesTouched:
+    def test_grows_with_dimension(self):
+        pages = [
+            expected_pages_touched(100_000, d, 32) for d in (2, 6, 10, 14)
+        ]
+        assert pages == sorted(pages)
+
+    def test_capped_at_total_pages(self):
+        assert expected_pages_touched(10_000, 50, 32) == pytest.approx(
+            10_000 / 32
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_pages_touched(100, 3, 0)
+
+
+class TestNeighborhoodSize:
+    def test_formula(self):
+        assert neighborhood_size(3, 1) == 3
+        assert neighborhood_size(3, 2) == 6
+        assert neighborhood_size(16, 2) == 16 + 120
+
+    def test_paper_example_d16_three_levels(self):
+        # "For two levels of indirection in a 16-dimensional space ...".
+        assert 1 + neighborhood_size(16, 3) == 1 + 16 + 120 + 560
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighborhood_size(3, 4)
+        with pytest.raises(ValueError):
+            neighborhood_size(0, 0)
+
+
+class TestBucketGeometry:
+    def test_bucket_mindist_inside(self):
+        splits = np.full(2, 0.5)
+        assert bucket_mindist(0, np.array([0.2, 0.2]), splits) == 0.0
+
+    def test_bucket_mindist_adjacent(self):
+        splits = np.full(2, 0.5)
+        # Bucket 1 = x >= 0.5, y < 0.5; query at (0.2, 0.2).
+        assert bucket_mindist(1, np.array([0.2, 0.2]), splits) == \
+            pytest.approx(0.09)
+
+    def test_crossed_dimensions(self):
+        query = np.array([0.45, 0.9, 0.5])
+        splits = np.full(3, 0.5)
+        assert crossed_dimensions(query, 0.1, splits) == [0, 2]
+
+    def test_paper_2d_example(self):
+        """Figure 6: query in the upper-left corner quadrant."""
+        query = np.array([0.2, 0.8])
+        splits = np.full(2, 0.5)
+        assert len(buckets_intersecting_sphere(query, 0.25, splits)) == 1
+        assert len(buckets_intersecting_sphere(query, 0.4, splits)) == 3
+        assert len(buckets_intersecting_sphere(query, 0.8, splits)) == 4
+
+    def test_home_bucket_always_included(self, rng):
+        splits = np.full(4, 0.5)
+        for _ in range(20):
+            query = rng.random(4)
+            home = sum(
+                (1 << i) for i in range(4) if query[i] >= 0.5
+            )
+            buckets = buckets_intersecting_sphere(query, 0.01, splits)
+            assert home in buckets
+
+    @given(st.integers(0, 100))
+    def test_bucket_count_monotone_in_radius(self, seed):
+        rng = np.random.default_rng(seed)
+        query = rng.random(3)
+        splits = np.full(3, 0.5)
+        previous = 0
+        for radius in (0.05, 0.2, 0.5, 1.0):
+            count = len(buckets_intersecting_sphere(query, radius, splits))
+            assert count >= previous
+            previous = count
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            buckets_intersecting_sphere(np.zeros(2), -0.1, np.full(2, 0.5))

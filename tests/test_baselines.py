@@ -1,0 +1,139 @@
+"""Tests for the baseline declustering methods (RR, DM, FX, Hilbert)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DiskModuloDeclusterer,
+    FXDeclusterer,
+    HilbertDeclusterer,
+    RoundRobinDeclusterer,
+)
+from repro.core.bits import bucket_coordinates
+from repro.core.graph import is_near_optimal, violation_statistics
+
+
+class TestRoundRobin:
+    def test_cycles_through_disks(self, rng):
+        declusterer = RoundRobinDeclusterer(4, 3)
+        assignment = declusterer.assign(rng.random((7, 4)))
+        assert assignment.tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_stateful_across_batches(self, rng):
+        declusterer = RoundRobinDeclusterer(4, 3)
+        first = declusterer.assign(rng.random((2, 4)))
+        second = declusterer.assign(rng.random((2, 4)))
+        assert first.tolist() == [0, 1]
+        assert second.tolist() == [2, 0]
+
+    def test_reset(self, rng):
+        declusterer = RoundRobinDeclusterer(4, 3)
+        declusterer.assign(rng.random((5, 4)))
+        declusterer.reset()
+        assert declusterer.assign(rng.random((1, 4))).tolist() == [0]
+
+    def test_perfectly_balanced(self, rng):
+        declusterer = RoundRobinDeclusterer(6, 8)
+        assignment = declusterer.assign(rng.random((800, 6)))
+        counts = np.bincount(assignment)
+        assert counts.max() - counts.min() == 0
+
+    def test_shape_validation(self, rng):
+        declusterer = RoundRobinDeclusterer(4, 3)
+        with pytest.raises(ValueError):
+            declusterer.assign(rng.random((5, 3)))
+
+
+class TestDiskModulo:
+    def test_mapping_definition(self):
+        declusterer = DiskModuloDeclusterer(3, 4)
+        for bucket in range(8):
+            coords = bucket_coordinates(bucket, 3)
+            assert declusterer.disk_for_bucket(bucket) == sum(coords) % 4
+
+    def test_separates_direct_neighbors(self):
+        # Direct neighbors change the coordinate sum by exactly 1.
+        declusterer = DiskModuloDeclusterer(5, 4)
+        stats = violation_statistics(declusterer.disk_for_bucket, 5)
+        assert stats.direct_collisions == 0
+
+    def test_not_near_optimal(self):
+        # Lemma 1: indirect neighbors with equal popcount collide.
+        declusterer = DiskModuloDeclusterer(3, 4)
+        assert not is_near_optimal(declusterer.disk_for_bucket, 3)
+        stats = violation_statistics(declusterer.disk_for_bucket, 3)
+        assert stats.indirect_collisions > 0
+
+
+class TestFX:
+    def test_mapping_definition(self):
+        declusterer = FXDeclusterer(3, 4)
+        for bucket in range(8):
+            coords = bucket_coordinates(bucket, 3)
+            xor = 0
+            for c in coords:
+                xor ^= c
+            assert declusterer.disk_for_bucket(bucket) == xor % 4
+
+    def test_binary_grid_collapses_to_parity(self):
+        # On the binary grid, FX uses only the values {0, 1}.
+        declusterer = FXDeclusterer(6, 8)
+        disks = {declusterer.disk_for_bucket(b) for b in range(64)}
+        assert disks == {0, 1}
+
+    def test_not_near_optimal(self):
+        declusterer = FXDeclusterer(3, 4)
+        assert not is_near_optimal(declusterer.disk_for_bucket, 3)
+        stats = violation_statistics(declusterer.disk_for_bucket, 3)
+        # Every indirect neighbor pair has the same parity -> all collide.
+        assert stats.indirect_collisions == stats.indirect_pairs
+
+
+class TestHilbertDecluster:
+    def test_mapping_definition(self):
+        declusterer = HilbertDeclusterer(3, 4)
+        for bucket in range(8):
+            coords = bucket_coordinates(bucket, 3)
+            expected = declusterer.curve.index_of(coords) % 4
+            assert declusterer.disk_for_bucket(bucket) == expected
+
+    def test_not_near_optimal_3d(self):
+        declusterer = HilbertDeclusterer(3, 4)
+        assert not is_near_optimal(declusterer.disk_for_bucket, 3)
+
+    def test_consecutive_curve_cells_on_different_disks(self):
+        declusterer = HilbertDeclusterer(4, 5)
+        curve = declusterer.curve
+        for h in range(curve.length - 1):
+            a = declusterer.disk_for_cell(curve.coordinates_of(h))
+            b = declusterer.disk_for_cell(curve.coordinates_of(h + 1))
+            assert a != b
+
+    def test_fine_grid_assignment(self, rng):
+        declusterer = HilbertDeclusterer(3, 4, order=3)
+        points = rng.random((200, 3))
+        assignment = declusterer.assign(points)
+        assert assignment.min() >= 0
+        assert assignment.max() < 4
+
+    def test_fine_grid_rejects_custom_splits(self):
+        with pytest.raises(ValueError):
+            HilbertDeclusterer(3, 4, order=2, split_values=np.full(3, 0.4))
+
+
+class TestAllBaselinesAssign:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda d, n: RoundRobinDeclusterer(d, n),
+            lambda d, n: DiskModuloDeclusterer(d, n),
+            lambda d, n: FXDeclusterer(d, n),
+            lambda d, n: HilbertDeclusterer(d, n),
+        ],
+    )
+    def test_assign_in_range(self, factory, rng):
+        declusterer = factory(7, 5)
+        assignment = declusterer.assign(rng.random((300, 7)))
+        assert assignment.shape == (300,)
+        assert assignment.min() >= 0
+        assert assignment.max() < 5

@@ -1,0 +1,176 @@
+"""Unit and property tests for repro.core.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bits import (
+    all_neighbors,
+    bucket_coordinates,
+    bucket_number,
+    bucket_numbers_for_points,
+    direct_neighbors,
+    gray_code,
+    gray_decode,
+    hamming_distance,
+    indirect_neighbors,
+    is_direct_neighbor,
+    is_indirect_neighbor,
+    next_power_of_two,
+    popcount,
+    set_bit_positions,
+)
+
+
+class TestBucketNumber:
+    def test_examples(self):
+        assert bucket_number([0, 0, 0]) == 0
+        assert bucket_number([1, 0, 0]) == 1
+        assert bucket_number([0, 0, 1]) == 4
+        assert bucket_number([1, 0, 1]) == 5
+        assert bucket_number([1, 1, 1]) == 7
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bucket_number([0, 2, 0])
+        with pytest.raises(ValueError):
+            bucket_number([-1])
+
+    def test_roundtrip_small(self):
+        for d in range(1, 8):
+            for bucket in range(1 << d):
+                coords = bucket_coordinates(bucket, d)
+                assert bucket_number(coords) == bucket
+
+    @given(st.integers(1, 20), st.data())
+    def test_roundtrip_property(self, dimension, data):
+        bucket = data.draw(st.integers(0, (1 << dimension) - 1))
+        coords = bucket_coordinates(bucket, dimension)
+        assert len(coords) == dimension
+        assert bucket_number(coords) == bucket
+
+    def test_coordinates_range_check(self):
+        with pytest.raises(ValueError):
+            bucket_coordinates(8, 3)
+        with pytest.raises(ValueError):
+            bucket_coordinates(-1, 3)
+
+
+class TestPopcountHamming:
+    @given(st.integers(0, 2**40))
+    def test_popcount_matches_bin(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+    def test_popcount_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    def test_hamming_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(st.integers(0, 2**30))
+    def test_hamming_identity(self, a):
+        assert hamming_distance(a, a) == 0
+
+    def test_set_bit_positions(self):
+        assert set_bit_positions(0) == []
+        assert set_bit_positions(0b1011) == [0, 1, 3]
+
+    @given(st.integers(0, 2**40))
+    def test_set_bit_positions_reconstruct(self, value):
+        assert sum(1 << p for p in set_bit_positions(value)) == value
+
+
+class TestGrayCode:
+    @given(st.integers(0, 2**20))
+    def test_roundtrip(self, value):
+        assert gray_decode(gray_code(value)) == value
+
+    def test_adjacent_codes_differ_one_bit(self):
+        for value in range(1, 1024):
+            assert hamming_distance(gray_code(value), gray_code(value - 1)) == 1
+
+
+class TestNeighbors:
+    def test_direct_count(self):
+        for d in range(1, 10):
+            assert len(list(direct_neighbors(0, d))) == d
+
+    def test_indirect_count(self):
+        for d in range(2, 10):
+            assert len(list(indirect_neighbors(0, d))) == d * (d - 1) // 2
+
+    def test_direct_neighbors_differ_one_bit(self):
+        for other in direct_neighbors(0b1010, 5):
+            assert hamming_distance(0b1010, other) == 1
+
+    def test_indirect_neighbors_differ_two_bits(self):
+        for other in indirect_neighbors(0b1010, 5):
+            assert hamming_distance(0b1010, other) == 2
+
+    def test_neighborhood_is_symmetric(self):
+        d = 5
+        for bucket in range(1 << d):
+            for other in all_neighbors(bucket, d):
+                assert bucket in set(all_neighbors(other, d))
+
+    def test_predicates(self):
+        assert is_direct_neighbor(0b000, 0b001)
+        assert not is_direct_neighbor(0b000, 0b011)
+        assert is_indirect_neighbor(0b000, 0b011)
+        assert not is_indirect_neighbor(0b000, 0b111)
+
+    def test_out_of_range_bucket(self):
+        with pytest.raises(ValueError):
+            list(direct_neighbors(8, 3))
+        with pytest.raises(ValueError):
+            list(indirect_neighbors(-1, 3))
+
+
+class TestNextPowerOfTwo:
+    def test_examples(self):
+        assert [next_power_of_two(v) for v in (1, 2, 3, 4, 5, 8, 9, 16, 17)] \
+            == [1, 2, 4, 4, 8, 8, 16, 16, 32]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(1, 10**9))
+    def test_properties(self, value):
+        p = next_power_of_two(value)
+        assert p >= value
+        assert p & (p - 1) == 0
+        assert p < 2 * value
+
+
+class TestBucketNumbersForPoints:
+    def test_midpoint_split(self):
+        points = np.array([[0.1, 0.9], [0.9, 0.1], [0.6, 0.6]])
+        buckets = bucket_numbers_for_points(points, np.array([0.5, 0.5]))
+        assert buckets.tolist() == [2, 1, 3]
+
+    def test_boundary_is_upper(self):
+        points = np.array([[0.5, 0.5]])
+        buckets = bucket_numbers_for_points(points, np.array([0.5, 0.5]))
+        assert buckets.tolist() == [3]
+
+    def test_custom_splits(self):
+        points = np.array([[0.3, 0.3]])
+        buckets = bucket_numbers_for_points(points, np.array([0.2, 0.4]))
+        assert buckets.tolist() == [1]
+
+    def test_matches_scalar_path(self, rng):
+        points = rng.random((200, 7))
+        splits = np.full(7, 0.5)
+        vec = bucket_numbers_for_points(points, splits)
+        for point, bucket in zip(points, vec):
+            expected = bucket_number([int(x >= 0.5) for x in point])
+            assert bucket == expected
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bucket_numbers_for_points(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            bucket_numbers_for_points(np.zeros((2, 3)), np.zeros(2))

@@ -1,0 +1,119 @@
+"""Tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load, str_chunks
+from repro.index.knn import knn_best_first, knn_linear_scan
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+
+
+class TestStrChunks:
+    def test_single_chunk(self, rng):
+        points = rng.random((10, 3))
+        chunks = str_chunks(points, 20)
+        assert len(chunks) == 1
+        assert sorted(chunks[0].tolist()) == list(range(10))
+
+    def test_partition_is_exact(self, rng):
+        points = rng.random((500, 4))
+        chunks = str_chunks(points, 16)
+        all_indices = np.concatenate(chunks)
+        assert sorted(all_indices.tolist()) == list(range(500))
+
+    def test_chunk_sizes_bounded(self, rng):
+        points = rng.random((1000, 3))
+        chunks = str_chunks(points, 25)
+        for chunk in chunks:
+            assert 1 <= len(chunk) <= 25
+        # Near-equal splitting keeps chunks reasonably full.
+        sizes = [len(c) for c in chunks]
+        assert min(sizes) >= max(sizes) // 2
+
+    def test_chunks_spatially_coherent(self, rng):
+        """STR tiles have smaller MBRs than random groupings."""
+        points = rng.random((900, 2))
+        chunks = str_chunks(points, 30)
+
+        def total_area(groups):
+            area = 0.0
+            for group in groups:
+                box = points[group]
+                area += np.prod(box.max(axis=0) - box.min(axis=0))
+            return area
+
+        random_groups = np.array_split(
+            np.random.default_rng(0).permutation(900), len(chunks)
+        )
+        assert total_area(chunks) < total_area(random_groups) / 2
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            str_chunks(rng.random(5), 4)
+        with pytest.raises(ValueError):
+            str_chunks(rng.random((5, 2)), 0)
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load(np.zeros((0, 4)))
+        assert len(tree) == 0
+
+    def test_size_and_invariants(self, medium_uniform):
+        tree = bulk_load(medium_uniform)
+        assert len(tree) == len(medium_uniform)
+        tree.check_invariants()
+
+    def test_all_points_present(self, small_uniform):
+        tree = bulk_load(small_uniform)
+        oids = {entry.oid for entry in tree.all_entries()}
+        assert oids == set(range(len(small_uniform)))
+
+    def test_custom_oids(self, rng):
+        points = rng.random((50, 3))
+        oids = np.arange(1000, 1050)
+        tree = bulk_load(points, oids=oids)
+        assert {e.oid for e in tree.all_entries()} == set(oids.tolist())
+
+    def test_oids_shape_validated(self, rng):
+        with pytest.raises(ValueError):
+            bulk_load(rng.random((50, 3)), oids=np.arange(10))
+
+    def test_knn_equivalence(self, medium_uniform, rng):
+        tree = bulk_load(medium_uniform)
+        for query in rng.random((10, 8)):
+            result, _ = knn_best_first(tree, query, 8)
+            oracle = knn_linear_scan(medium_uniform, query, 8)
+            assert result[-1].distance == pytest.approx(oracle[-1].distance)
+
+    def test_rstar_class(self, small_uniform):
+        tree = bulk_load(small_uniform, tree_cls=RStarTree)
+        assert isinstance(tree, RStarTree)
+        tree.check_invariants()
+
+    def test_fill_validation(self, small_uniform):
+        with pytest.raises(ValueError):
+            bulk_load(small_uniform, fill=0.5)
+
+    def test_bulk_tree_remains_updatable(self, rng):
+        points = rng.random((400, 4))
+        tree = bulk_load(points, tree_cls=XTree)
+        tree.insert(rng.random(4), 400)
+        assert tree.delete(points[3], 3)
+        tree.check_invariants()
+        assert len(tree) == 400
+
+    def test_bulk_beats_insertion_in_pages(self, rng):
+        """Packed trees need fewer pages than insertion-built ones."""
+        points = rng.random((1500, 6))
+        packed = bulk_load(points)
+        dynamic = XTree(6)
+        dynamic.extend(points)
+        assert packed.num_pages() <= dynamic.num_pages()
+
+    def test_higher_fill_fewer_pages(self, rng):
+        points = rng.random((3000, 5))
+        loose = bulk_load(points, fill=0.8)
+        dense = bulk_load(points, fill=1.0)
+        assert dense.num_pages() <= loose.num_pages()

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ABLATIONS, FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_registries_populated(self):
+        assert len(FIGURES) == 14
+        assert len(ABLATIONS) == 15
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "color staircase" in out
+        assert "SIGMOD 1997" in out
+
+    def test_figures_list(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_ablations_list(self, capsys):
+        assert main(["ablations", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "neighbor_depth" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figures", "--run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_analytic_figure(self, capsys):
+        assert main(["figures", "--run", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "disk assignment graph" in out
+
+    def test_run_scaled_figure_writes_output(self, capsys, tmp_path):
+        assert main([
+            "figures", "--run", "fig02", "--scale", "0.05",
+            "--out", str(tmp_path),
+        ]) == 0
+        assert (tmp_path / "fig02.txt").exists()
+        assert "round-robin" in (tmp_path / "fig02.txt").read_text()
+
+    def test_run_ablation(self, capsys):
+        assert main(["ablations", "--run", "engine_modes",
+                     "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "coordinated" in out

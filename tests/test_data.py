@@ -1,0 +1,204 @@
+"""Tests for the workload generators (uniform, clusters, Fourier, text)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    contour_radius_samples,
+    corner_clusters,
+    correlated_points,
+    fourier_points,
+    gaussian_clusters,
+    generate_document,
+    query_workload,
+    straddling_dimensions,
+    text_descriptors,
+    uniform_points,
+)
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        points = uniform_points(100, 7, seed=1)
+        assert points.shape == (100, 7)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            uniform_points(50, 3, seed=5), uniform_points(50, 3, seed=5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            uniform_points(50, 3, seed=5), uniform_points(50, 3, seed=6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1, 3)
+        with pytest.raises(ValueError):
+            uniform_points(10, 0)
+
+
+class TestClusters:
+    def test_gaussian_clusters_are_clustered(self):
+        points = gaussian_clusters(2000, 6, num_clusters=3, spread=0.02,
+                                   seed=2)
+        # Clustered data has much lower per-dimension variance than uniform.
+        assert points.var(axis=0).mean() < 0.05
+
+    def test_range(self):
+        points = gaussian_clusters(500, 4, spread=0.5, seed=3)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_custom_centers(self):
+        centers = np.array([[0.1] * 4, [0.9] * 4])
+        points = gaussian_clusters(
+            300, 4, spread=0.01, centers=centers, seed=4
+        )
+        distances = np.minimum(
+            np.abs(points - 0.1).max(axis=1), np.abs(points - 0.9).max(axis=1)
+        )
+        assert (distances < 0.1).all()
+
+    def test_corner_clusters_near_surface(self):
+        points = corner_clusters(2000, 10, seed=5)
+        margin = 0.3
+        near_surface = (
+            (points < margin) | (points > 1 - margin)
+        ).any(axis=1)
+        assert near_surface.mean() > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 3, num_clusters=0)
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, 3, spread=0.0)
+
+
+class TestCorrelated:
+    def test_low_intrinsic_dimension(self):
+        points = correlated_points(3000, 10, intrinsic_dimension=2, seed=6)
+        # Singular values collapse beyond the intrinsic dimension.
+        centered = points - points.mean(axis=0)
+        singular_values = np.linalg.svd(centered, compute_uv=False)
+        assert singular_values[2] < singular_values[1] / 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            correlated_points(10, 4, intrinsic_dimension=5)
+
+
+class TestFourier:
+    def test_shape_and_range(self):
+        points = fourier_points(300, 12, seed=7)
+        assert points.shape == (300, 12)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_energy_decays_with_dimension(self):
+        points = fourier_points(5000, 15, seed=8)
+        means = points.mean(axis=0)
+        assert means[0] > means[7] > means[14]
+
+    def test_high_effective_dimensionality(self):
+        points = fourier_points(20000, 15, seed=9)
+        assert straddling_dimensions(points) >= 10
+
+    def test_families_are_clustered(self):
+        diverse = fourier_points(4000, 10, seed=10)
+        clustered = fourier_points(
+            4000, 10, seed=10, num_families=5, family_spread=0.03
+        )
+        assert clustered.var(axis=0).sum() < diverse.var(axis=0).sum()
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            fourier_points(100, 8, seed=11), fourier_points(100, 8, seed=11)
+        )
+
+    def test_contour_radius_positive_for_small_amplitudes(self):
+        rng = np.random.default_rng(0)
+        radii = contour_radius_samples(
+            rng.standard_normal(5) * 0.1,
+            rng.standard_normal(5) * 0.1,
+            np.full(5, 0.2),
+        )
+        assert radii.shape == (128,)
+        assert (radii > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fourier_points(10, 0)
+        with pytest.raises(ValueError):
+            fourier_points(10, 64)  # exceeds contour sampling resolution
+        with pytest.raises(ValueError):
+            fourier_points(10, 8, num_families=0)
+
+
+class TestText:
+    def test_document_generation(self):
+        doc = generate_document(500, seed=12)
+        assert len(doc) == 500
+        assert set(doc) <= set("abcdefghijklmnopqrstuvwxyz ")
+
+    def test_document_has_zipf_repetition(self):
+        doc = generate_document(5000, seed=13)
+        words = doc.split()
+        unique_ratio = len(set(words)) / len(words)
+        assert unique_ratio < 0.5  # heavy reuse of frequent words
+
+    def test_descriptor_shape_and_range(self):
+        points = text_descriptors(400, 15, seed=14)
+        assert points.shape == (400, 15)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_descriptors_skewed(self):
+        points = text_descriptors(3000, 15, seed=15)
+        means = np.sort(points.mean(axis=0))
+        # The hottest dimension clearly dominates the coldest ones.
+        assert means[-1] > 1.5 * means[4]
+        assert means[-1] > 3 * means[0]
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            text_descriptors(100, 10, seed=16),
+            text_descriptors(100, 10, seed=16),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_descriptors(10, 0)
+        with pytest.raises(ValueError):
+            text_descriptors(10, 5, window=1)
+        with pytest.raises(ValueError):
+            generate_document(0)
+
+
+class TestQueryWorkload:
+    def test_data_queries_near_data(self, rng):
+        points = rng.random((1000, 6)) * 0.2  # confined region
+        queries = query_workload(points, 50, seed=17, jitter=0.01)
+        assert queries.shape == (50, 6)
+        assert queries.max() < 0.3
+
+    def test_uniform_fraction(self, rng):
+        points = rng.random((1000, 6)) * 0.01
+        queries = query_workload(
+            points, 100, seed=18, uniform_fraction=1.0
+        )
+        # Fully uniform queries spread across the cube.
+        assert queries.max() > 0.8
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            query_workload(np.zeros((0, 3)), 5)
+        with pytest.raises(ValueError):
+            query_workload(rng.random((10, 3)), 5, uniform_fraction=1.5)
+
+    def test_straddling_dimensions_helper(self):
+        points = np.array([[0.1, 0.4], [0.9, 0.45]])
+        assert straddling_dimensions(points) == 1

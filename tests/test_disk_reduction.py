@@ -1,0 +1,125 @@
+"""Tests for the complement-folding disk reduction (Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.disk_reduction import (
+    fold_upper_half,
+    modulo_reduction_table,
+    reduction_table,
+)
+
+_POWERS = [1, 2, 4, 8, 16, 32, 64]
+
+
+class TestFoldUpperHalf:
+    def test_paper_example(self):
+        # C=16: colors 8..15 map to 7..0.
+        values = np.arange(16)
+        folded = fold_upper_half(values, 16)
+        assert folded[:8].tolist() == list(range(8))
+        assert folded[8:].tolist() == list(range(7, -1, -1))
+
+    def test_fold_is_bitwise_complement(self):
+        for width in (2, 4, 8, 16):
+            values = np.arange(width)
+            folded = fold_upper_half(values, width)
+            for value, result in zip(values, folded):
+                if value >= width // 2:
+                    assert result == (~value) & (width - 1)
+                else:
+                    assert result == value
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fold_upper_half(np.arange(3), 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fold_upper_half(np.array([8]), 8)
+
+
+class TestReductionTable:
+    def test_identity_when_equal(self):
+        for colors in _POWERS:
+            table = reduction_table(colors, colors)
+            assert table.tolist() == list(range(colors))
+
+    def test_documented_examples(self):
+        assert reduction_table(8, 4).tolist() == [0, 1, 2, 3, 3, 2, 1, 0]
+        assert reduction_table(8, 3).tolist() == [0, 1, 2, 0, 0, 2, 1, 0]
+
+    def test_single_disk(self):
+        for colors in _POWERS:
+            assert set(reduction_table(colors, 1).tolist()) == {0}
+
+    @given(
+        st.sampled_from(_POWERS),
+        st.data(),
+    )
+    def test_range_and_surjectivity(self, colors, data):
+        num_disks = data.draw(st.integers(1, colors))
+        table = reduction_table(colors, num_disks)
+        assert len(table) == colors
+        assert table.min() >= 0
+        assert table.max() < num_disks
+        # Every disk receives at least one color.
+        assert set(table.tolist()) == set(range(num_disks))
+
+    @given(st.sampled_from([4, 8, 16, 32]), st.data())
+    def test_balanced_for_powers_of_two(self, colors, data):
+        """Folding to a power-of-two disk count is perfectly balanced."""
+        exponent = data.draw(
+            st.integers(0, int(np.log2(colors)))
+        )
+        num_disks = 1 << exponent
+        table = reduction_table(colors, num_disks)
+        counts = np.bincount(table, minlength=num_disks)
+        assert counts.max() == counts.min() == colors // num_disks
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            reduction_table(6, 3)  # not a power of two
+        with pytest.raises(ValueError):
+            reduction_table(8, 0)
+        with pytest.raises(ValueError):
+            reduction_table(8, 9)
+
+    def test_folding_pairs_complementary(self):
+        """Colors folded together are bitwise complements (max Hamming
+        distance), the property Section 4.3 relies on."""
+        for colors in (8, 16):
+            table = reduction_table(colors, colors // 2)
+            for color in range(colors):
+                partner = (~color) & (colors - 1)
+                assert table[color] == table[partner]
+
+
+class TestModuloReduction:
+    def test_range(self):
+        table = modulo_reduction_table(16, 5)
+        assert table.tolist() == [c % 5 for c in range(16)]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            modulo_reduction_table(5, 2)
+        with pytest.raises(ValueError):
+            modulo_reduction_table(8, 0)
+
+    def test_complement_beats_modulo_on_adjacent_colors(self):
+        """Hamming-1 color pairs collide less under complement folding."""
+        colors, disks = 16, 8
+        fold = reduction_table(colors, disks)
+        modulo = modulo_reduction_table(colors, disks)
+
+        def collisions(table):
+            total = 0
+            for a in range(colors):
+                for bit in range(4):
+                    b = a ^ (1 << bit)
+                    if a < b and table[a] == table[b]:
+                        total += 1
+            return total
+
+        assert collisions(fold) <= collisions(modulo)

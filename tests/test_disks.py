@@ -1,0 +1,89 @@
+"""Tests for the simulated disk array and service-time model."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.disks import DiskArray, DiskParameters
+
+
+class TestDiskParameters:
+    def test_default_service_time(self):
+        params = DiskParameters()
+        # 10 ms seek + 4 ms rotation + 4096 B / 4 MB/s ~= 15.02 ms.
+        assert params.page_service_time_ms == pytest.approx(15.024, abs=0.01)
+
+    def test_faster_disk(self):
+        fast = DiskParameters(seek_ms=1.0, rotational_latency_ms=0.5,
+                              transfer_mb_per_s=100.0)
+        assert fast.page_service_time_ms < DiskParameters().page_service_time_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParameters(seek_ms=-1)
+        with pytest.raises(ValueError):
+            DiskParameters(transfer_mb_per_s=0)
+        with pytest.raises(ValueError):
+            DiskParameters(page_bytes=0)
+
+    def test_frozen(self):
+        params = DiskParameters()
+        with pytest.raises(Exception):
+            params.seek_ms = 5.0
+
+
+class TestDiskArray:
+    def test_initial_state(self):
+        array = DiskArray(4)
+        assert array.total_pages == 0
+        assert array.max_pages == 0
+        assert array.parallel_time_ms == 0.0
+
+    def test_charging(self):
+        array = DiskArray(3)
+        array.charge(0, 5)
+        array.charge(1)
+        array.charge(0, 2)
+        assert array.pages_per_disk.tolist() == [7, 1, 0]
+        assert array.total_pages == 8
+        assert array.max_pages == 7
+
+    def test_times(self):
+        params = DiskParameters(seek_ms=1.0, rotational_latency_ms=0.0,
+                                transfer_mb_per_s=4096.0)
+        array = DiskArray(2, params)
+        array.charge(0, 10)
+        array.charge(1, 4)
+        t_page = params.page_service_time_ms
+        assert array.parallel_time_ms == pytest.approx(10 * t_page)
+        assert array.sequential_time_ms == pytest.approx(14 * t_page)
+
+    def test_parallel_faster_than_sequential(self):
+        array = DiskArray(4)
+        for disk in range(4):
+            array.charge(disk, 10)
+        assert array.parallel_time_ms == pytest.approx(
+            array.sequential_time_ms / 4
+        )
+
+    def test_reset(self):
+        array = DiskArray(2)
+        array.charge(1, 3)
+        array.reset()
+        assert array.total_pages == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskArray(0)
+        array = DiskArray(2)
+        with pytest.raises(ValueError):
+            array.charge(2)
+        with pytest.raises(ValueError):
+            array.charge(-1)
+        with pytest.raises(ValueError):
+            array.charge(0, -1)
+
+    def test_pages_per_disk_is_copy(self):
+        array = DiskArray(2)
+        snapshot = array.pages_per_disk
+        snapshot[0] = 99
+        assert array.total_pages == 0

@@ -1,0 +1,108 @@
+"""Tests for the event-driven disk-queue simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import NearOptimalDeclusterer
+from repro.parallel.events import (
+    EventDrivenSimulator,
+    QueryArrival,
+    poisson_arrivals,
+)
+from repro.parallel.paged import PagedEngine, PagedStore
+
+
+@pytest.fixture
+def store(medium_uniform):
+    return PagedStore(
+        points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+    )
+
+
+@pytest.fixture
+def simulator(store):
+    return EventDrivenSimulator(store)
+
+
+class TestPoissonArrivals:
+    def test_times_increasing(self, rng):
+        arrivals = poisson_arrivals(rng.random((50, 4)), rate_qps=10.0,
+                                    seed=1)
+        times = [a.time_ms for a in arrivals]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_rate_controls_spacing(self, rng):
+        queries = rng.random((200, 4))
+        fast = poisson_arrivals(queries, rate_qps=100.0, seed=2)
+        slow = poisson_arrivals(queries, rate_qps=1.0, seed=2)
+        assert fast[-1].time_ms < slow[-1].time_ms
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng.random((5, 4)), rate_qps=0.0)
+
+
+class TestEventDrivenSimulator:
+    def test_single_query_latency_equals_busiest_disk(self, store,
+                                                      simulator, rng):
+        query = rng.random(8)
+        report = simulator.run([QueryArrival(0.0, query, 5)])
+        expected = PagedEngine(store).query(query, 5).parallel_time_ms
+        assert report.latencies_ms[0] == pytest.approx(expected)
+        assert report.throughput_qps > 0
+
+    def test_spread_out_arrivals_have_unqueued_latency(self, simulator,
+                                                       rng):
+        """Arrivals far apart never queue: each latency equals its own
+        service demand."""
+        queries = rng.random((5, 8))
+        relaxed = simulator.run(
+            [QueryArrival(i * 1e7, q, 5) for i, q in enumerate(queries)]
+        )
+        solo = [
+            simulator.run([QueryArrival(0.0, q, 5)]).latencies_ms[0]
+            for q in queries
+        ]
+        assert relaxed.latencies_ms == pytest.approx(np.array(solo))
+
+    def test_simultaneous_arrivals_queue(self, simulator, rng):
+        """Same queries arriving together must wait on each other."""
+        queries = rng.random((6, 8))
+        together = simulator.run(
+            [QueryArrival(0.0, q, 5) for q in queries]
+        )
+        apart = simulator.run(
+            [QueryArrival(i * 1e7, q, 5) for i, q in enumerate(queries)]
+        )
+        assert together.mean_latency_ms > apart.mean_latency_ms
+
+    def test_latency_grows_with_offered_load(self, store, rng):
+        simulator = EventDrivenSimulator(store)
+        queries = rng.random((30, 8))
+        light = simulator.run(poisson_arrivals(queries, 0.5, seed=3, k=5))
+        heavy = simulator.run(poisson_arrivals(queries, 50.0, seed=3, k=5))
+        assert heavy.mean_latency_ms > light.mean_latency_ms
+        assert heavy.p95_latency_ms >= heavy.mean_latency_ms
+
+    def test_utilization_bounded(self, simulator, rng):
+        report = simulator.run(
+            poisson_arrivals(rng.random((10, 8)), 5.0, seed=4, k=5)
+        )
+        assert (report.utilization <= 1.0 + 1e-9).all()
+
+    def test_empty_stream(self, simulator):
+        report = simulator.run([])
+        assert report.mean_latency_ms == 0.0
+        assert report.completion_ms == 0.0
+
+    def test_page_totals_match_engine(self, store, simulator, rng):
+        queries = rng.random((4, 8))
+        report = simulator.run(
+            [QueryArrival(float(i), q, 5) for i, q in enumerate(queries)]
+        )
+        engine = PagedEngine(store)
+        expected = sum(
+            engine.query(q, 5).pages_per_disk for q in queries
+        )
+        assert np.array_equal(report.pages_per_disk, expected)

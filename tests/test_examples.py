@@ -1,0 +1,53 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Only the fast examples run in the unit suite; the heavier retrieval
+scenarios are covered indirectly by the figure benchmarks that exercise
+the same code paths.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "image_search.py",
+            "cad_retrieval.py",
+            "text_retrieval.py",
+            "capacity_planning.py",
+            "ranking_and_metrics.py",
+        } <= names
+
+    def test_quickstart_runs(self):
+        out = run_example("quickstart.py")
+        assert "speed-up" in out
+        assert "neighbors" in out
+
+    def test_ranking_and_metrics_runs(self):
+        out = run_example("ranking_and_metrics.py")
+        assert "incremental ranking" in out
+        assert "identical results" in out
+
+    def test_capacity_planning_runs(self):
+        out = run_example("capacity_planning.py")
+        assert "curse of dimensionality" in out
+        assert "speed-up" in out

@@ -1,0 +1,99 @@
+"""Shape tests for the extension experiments (future work features)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_ext_dynamic_reorganization,
+    run_ext_optimal_coloring,
+    run_ext_partial_match,
+    run_ext_throughput,
+)
+
+
+class TestThroughputExtension:
+    def test_balanced_policies_beat_hilbert(self):
+        table = run_ext_throughput(scale=0.12)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["new"][1] > rows["HIL"][1]  # throughput qps
+        assert rows["new"][3] < rows["HIL"][3]  # aggregate imbalance
+
+    def test_page_rr_aggregate_balance_is_best(self):
+        """Round-robin pages have near-perfect aggregate balance — the
+        throughput-vs-latency trade-off the paper's future work names."""
+        table = run_ext_throughput(scale=0.12)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["RR-pages"][3] <= rows["new"][3] + 0.5
+
+
+class TestPartialMatchExtension:
+    def test_pages_shrink_with_more_specified_attrs(self):
+        table = run_ext_partial_match(scale=0.15)
+        for column in ("DM", "FX", "HIL", "new"):
+            pages = table.column(column)
+            assert pages == sorted(pages, reverse=True)
+
+    def test_new_competitive_on_home_turf(self):
+        table = run_ext_partial_match(scale=0.15)
+        for row in table.rows:
+            _, dm, fx, hil, new = row
+            assert new <= max(dm, fx) + 1e-9
+
+
+class TestOptimalColoringExtension:
+    def test_dsatur_never_below_staircase(self):
+        table = run_ext_optimal_coloring(dimensions=(1, 2, 3, 4, 5, 6))
+        for staircase, dsatur in zip(
+            table.column("col_staircase"), table.column("dsatur_colors")
+        ):
+            assert dsatur >= staircase
+
+
+class TestDynamicReorganizationExtension:
+    def test_drift_triggers_reorganization(self):
+        table = run_ext_dynamic_reorganization(scale=0.3)
+        reorganizations = table.column("reorganizations")
+        assert reorganizations[0] == 0  # uniform phase stays put
+        assert reorganizations[-1] >= 1  # drift was handled
+
+
+class TestSaturationExtension:
+    def test_latency_monotone_in_rate(self):
+        from repro.experiments.extensions import run_ext_saturation
+
+        table = run_ext_saturation(scale=0.1, rates=(0.5, 8.0))
+        new_mean = table.column("new_mean_ms")
+        assert new_mean[1] >= new_mean[0]
+
+    def test_balanced_store_faster_under_load(self):
+        from repro.experiments.extensions import run_ext_saturation
+
+        table = run_ext_saturation(scale=0.1, rates=(2.0,))
+        row = table.rows[0]
+        assert row[1] < row[3]  # new mean < HIL mean
+
+
+class TestRangeQueriesExtension:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.experiments.extensions import run_ext_range_queries_2d
+
+        return run_ext_range_queries_2d(scale=0.5)
+
+    def test_hilbert_competitive_on_2d_ranges(self, table):
+        """[FB 93]'s claim, averaged over the window sweep."""
+        import numpy as np
+
+        means = {
+            name: float(np.mean(table.column(name)))
+            for name in ("DM", "FX", "HIL")
+        }
+        assert means["HIL"] <= max(means["DM"], means["FX"]) + 1e-9
+
+    def test_quadrant_technique_out_of_its_element(self, table):
+        """Honest negative control: the paper's technique is not a range-
+        query method — binary quadrants cannot spread small windows."""
+        import numpy as np
+
+        new_mean = float(np.mean(table.column("new(quadrants)")))
+        hil_mean = float(np.mean(table.column("HIL")))
+        assert new_mean >= hil_mean

@@ -1,0 +1,130 @@
+"""Smoke and shape tests for the per-figure experiment reproductions.
+
+Each figure runs at a tiny scale here; the assertions target the *shape*
+the paper reports (who wins, monotonicity), not absolute values.  The full
+scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig01_sequential_dimension,
+    run_fig02_round_robin_speedup,
+    run_fig03_hilbert_vs_round_robin,
+    run_fig05_surface_probability,
+    run_fig06_sphere_buckets,
+    run_fig07_near_optimality,
+    run_fig08_assignment_graph,
+    run_fig10_color_staircase,
+    run_fig12_speedup_uniform,
+    run_fig13_speedup_fourier,
+    run_fig14_improvement_over_hilbert,
+    run_fig15_scaleup,
+    run_fig16_recursive_declustering,
+    run_fig17_text_data,
+)
+
+SCALE = 0.12  # keep the unit-test runs quick
+
+
+class TestStructuralFigures:
+    def test_fig01_pages_grow_with_dimension(self):
+        table = run_fig01_sequential_dimension(
+            scale=0.2, dimensions=(2, 8, 14)
+        )
+        pages = table.column("data_pages_read")
+        assert pages[0] < pages[1] < pages[2]
+
+    def test_fig05_matches_formula(self):
+        table = run_fig05_surface_probability(dimensions=(2, 8, 16),
+                                              samples=20_000)
+        for analytic, monte_carlo in zip(
+            table.column("analytic"), table.column("monte_carlo")
+        ):
+            assert monte_carlo == pytest.approx(analytic, abs=0.02)
+
+    def test_fig06_bucket_counts_monotone(self):
+        table = run_fig06_sphere_buckets()
+        counts = table.column("buckets_2d")
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_fig07_only_new_near_optimal(self):
+        table = run_fig07_near_optimality(dimensions=(3, 4))
+        for method, verdict in zip(
+            table.column("method"), table.column("near_optimal")
+        ):
+            assert (verdict == "yes") == (method == "new")
+
+    def test_fig08_proper_coloring(self):
+        table = run_fig08_assignment_graph()
+        values = dict(zip(table.column("quantity"), table.column("value")))
+        assert values["colors used"] == 4
+        assert values["conflicting edges"] == 0
+
+    def test_fig10_staircase_between_bounds(self):
+        table = run_fig10_color_staircase(max_dimension=16)
+        for low, col_colors, high in zip(
+            table.column("lower_bound"),
+            table.column("col_colors"),
+            table.column("upper_bound"),
+        ):
+            assert low <= col_colors <= high
+
+    def test_fig10_brute_force_matches(self):
+        table = run_fig10_color_staircase(max_dimension=4)
+        assert table.column("exact_min") == table.column("col_colors")
+
+
+class TestParallelFigures:
+    def test_fig02_speedup_increases(self):
+        table = run_fig02_round_robin_speedup(scale=SCALE, disks=(1, 4, 16))
+        speedups = table.column("speedup_10nn")
+        assert speedups[0] == pytest.approx(1.0, rel=0.2)
+        assert speedups[-1] > 2.0
+        assert speedups == sorted(speedups)
+
+    def test_fig03_hilbert_improves_over_rr(self):
+        table = run_fig03_hilbert_vs_round_robin(
+            scale=SCALE, disks=(4, 16), data_sweep=(20000, 60000)
+        )
+        improvements = table.column("improvement")
+        assert max(improvements) > 1.0
+
+    def test_fig12_near_linear_speedup(self):
+        table = run_fig12_speedup_uniform(scale=SCALE, disks=(1, 4, 16))
+        speedups = table.column("speedup_10nn")
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 3.0
+
+    def test_fig13_new_beats_hilbert(self):
+        table = run_fig13_speedup_fourier(scale=SCALE, disks=(4, 16))
+        new = table.column("new_10nn")
+        hil = table.column("hilbert_10nn")
+        assert new[-1] > hil[-1]
+        assert new == sorted(new)  # grows with disks
+
+    def test_fig14_improvement_grows_with_disks(self):
+        table = run_fig14_improvement_over_hilbert(
+            scale=SCALE, disks=(2, 16)
+        )
+        improvements = table.column("improvement_10nn")
+        assert improvements[-1] > improvements[0]
+        assert improvements[-1] > 1.5
+
+    def test_fig15_scaleup_roughly_constant(self):
+        table = run_fig15_scaleup(scale=0.3, steps=(2, 8), points_per_disk=4000)
+        times = table.column("time_10nn_ms")
+        assert max(times) < 4 * min(times)
+
+    def test_fig16_recursion_improves(self):
+        table = run_fig16_recursive_declustering(scale=SCALE)
+        improvement = table.rows[-1]
+        assert improvement[0] == "improvement"
+        assert improvement[2] > 1.2  # 10-NN improvement factor
+
+    def test_fig17_new_beats_hilbert_on_text(self):
+        table = run_fig17_text_data(scale=SCALE)
+        improvement = table.rows[-1]
+        assert improvement[0] == "improvement"
+        assert improvement[2] > 1.0

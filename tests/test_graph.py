@@ -1,0 +1,94 @@
+"""Tests for the disk-assignment graph and near-optimality checker."""
+
+import pytest
+
+from repro.core.bits import hamming_distance
+from repro.core.graph import (
+    ViolationStats,
+    brute_force_min_colors,
+    disk_assignment_graph,
+    is_near_optimal,
+    near_optimality_violations,
+    neighbor_edges,
+    violation_statistics,
+)
+from repro.core.vertex_coloring import col, colors_required
+
+
+class TestGraphStructure:
+    def test_g3_counts(self):
+        graph = disk_assignment_graph(3)
+        assert graph.number_of_nodes() == 8
+        # 12 direct edges (cube edges) + 12 indirect (face diagonals).
+        kinds = [kind for _, _, kind in graph.edges(data="kind")]
+        assert kinds.count("direct") == 12
+        assert kinds.count("indirect") == 12
+
+    def test_edge_counts_formula(self):
+        for dimension in range(1, 8):
+            graph = disk_assignment_graph(dimension)
+            vertices = 1 << dimension
+            direct = vertices * dimension // 2
+            indirect = vertices * dimension * (dimension - 1) // 4
+            assert graph.number_of_edges() == direct + indirect
+
+    def test_edges_are_one_or_two_bit_flips(self):
+        for bucket, other, kind in neighbor_edges(4):
+            distance = hamming_distance(bucket, other)
+            assert (kind, distance) in {("direct", 1), ("indirect", 2)}
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            disk_assignment_graph(0)
+
+
+class TestViolationDetection:
+    def test_col_has_no_violations(self):
+        for dimension in range(1, 9):
+            assert near_optimality_violations(col, dimension) == []
+
+    def test_constant_mapping_violates_everything(self):
+        stats = violation_statistics(lambda b: 0, 4)
+        assert stats.direct_collisions == stats.direct_pairs
+        assert stats.indirect_collisions == stats.indirect_pairs
+        assert stats.collision_rate == 1.0
+
+    def test_max_violations_truncates(self):
+        violations = near_optimality_violations(
+            lambda b: 0, 5, max_violations=3
+        )
+        assert len(violations) == 3
+
+    def test_is_near_optimal(self):
+        assert is_near_optimal(col, 6)
+        assert not is_near_optimal(lambda b: b % 2, 3)
+
+    def test_violation_fields(self):
+        violations = near_optimality_violations(lambda b: 0, 2)
+        v = violations[0]
+        assert v.disk == 0
+        assert v.kind in ("direct", "indirect")
+        assert v.bucket_a < v.bucket_b
+
+    def test_stats_totals(self):
+        stats = violation_statistics(col, 5)
+        assert isinstance(stats, ViolationStats)
+        assert stats.total_collisions == 0
+        assert stats.direct_pairs == (1 << 5) * 5 // 2
+        assert stats.indirect_pairs == (1 << 5) * 10 // 2
+
+
+class TestBruteForce:
+    def test_matches_staircase_small_d(self):
+        for dimension in (1, 2, 3, 4):
+            assert brute_force_min_colors(dimension) == colors_required(
+                dimension
+            )
+
+    def test_rejects_large_dimension(self):
+        with pytest.raises(ValueError):
+            brute_force_min_colors(5)
+
+    def test_limit_too_small(self):
+        with pytest.raises(RuntimeError):
+            brute_force_min_colors(3, limit=3)

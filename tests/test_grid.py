@@ -1,0 +1,79 @@
+"""Tests for Welch's bucketing (grid) index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.grid import GridIndex
+from repro.index.knn import knn_linear_scan
+
+
+class TestConstruction:
+    def test_cells_partition_points(self, small_uniform):
+        grid = GridIndex(small_uniform, cells_per_dim=3)
+        total = sum(len(members) for members in grid.cells.values())
+        assert total == len(small_uniform)
+        assert grid.occupied_cells() <= 3**6
+
+    def test_cell_of_boundaries(self):
+        grid = GridIndex(np.zeros((1, 2)), cells_per_dim=4)
+        assert grid.cell_of([0.0, 0.0]) == (0, 0)
+        assert grid.cell_of([1.0, 1.0]) == (3, 3)  # clipped into the grid
+        assert grid.cell_of([0.26, 0.74]) == (1, 2)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GridIndex(rng.random(5))
+        with pytest.raises(ValueError):
+            GridIndex(rng.random((5, 2)), cells_per_dim=0)
+
+    def test_empty(self):
+        grid = GridIndex(np.zeros((0, 3)))
+        result, stats = grid.knn(np.full(3, 0.5), 2)
+        assert result == []
+        assert stats.page_accesses == 0
+
+
+class TestSearch:
+    def test_matches_oracle(self, rng):
+        points = rng.random((3000, 4))
+        grid = GridIndex(points, cells_per_dim=5)
+        for query in rng.random((10, 4)):
+            for k in (1, 8):
+                result, _ = grid.knn(query, k)
+                oracle = knn_linear_scan(points, query, k)
+                assert [n.distance for n in result] == pytest.approx(
+                    [n.distance for n in oracle]
+                )
+
+    def test_visits_few_cells_low_d(self, rng):
+        points = rng.random((10_000, 2))
+        grid = GridIndex(points, cells_per_dim=16)
+        _, stats = grid.knn(np.full(2, 0.5), 1)
+        assert stats.leaf_accesses <= 10
+
+    def test_inefficient_in_high_d(self, rng):
+        """The paper's Section 2 claim: Welch's algorithm degrades in
+        high dimensions — the query visits most occupied cells."""
+        points = rng.random((3000, 10))
+        grid = GridIndex(points, cells_per_dim=2)
+        _, stats = grid.knn(rng.random(10), 10)
+        assert stats.leaf_accesses > grid.occupied_cells() * 0.3
+
+    def test_query_outside_unit_cube(self, rng):
+        points = rng.random((500, 3))
+        grid = GridIndex(points, cells_per_dim=4)
+        result, _ = grid.knn(np.array([1.2, -0.3, 0.5]), 2)
+        oracle = knn_linear_scan(points, np.array([1.2, -0.3, 0.5]), 2)
+        assert [n.oid for n in result] == [n.oid for n in oracle]
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 500), st.integers(1, 6))
+    def test_property_random(self, seed, cells):
+        rng = np.random.default_rng(seed)
+        points = rng.random((400, 3))
+        grid = GridIndex(points, cells_per_dim=cells)
+        query = rng.random(3)
+        result, _ = grid.knn(query, 5)
+        oracle = knn_linear_scan(points, query, 5)
+        assert result[-1].distance == pytest.approx(oracle[-1].distance)

@@ -1,0 +1,87 @@
+"""Tests for table export formats, disk presets, batch queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import NearOptimalDeclusterer
+from repro.experiments.harness import ResultTable
+from repro.parallel.disks import DiskParameters
+from repro.parallel.paged import PagedEngine, PagedStore
+
+
+class TestTableExports:
+    @pytest.fixture
+    def table(self):
+        table = ResultTable("Demo table", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row('with,comma "quoted"', 2)
+        table.add_note("a note")
+        return table
+
+    def test_markdown(self, table):
+        markdown = table.to_markdown()
+        assert "### Demo table" in markdown
+        assert "| name | value |" in markdown
+        assert "| alpha | 1.5 |" in markdown
+        assert "*a note*" in markdown
+
+    def test_csv_escaping(self, table):
+        csv = table.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "alpha,1.5"
+        assert lines[2] == '"with,comma ""quoted""",2'
+
+    def test_csv_roundtrip_parses(self, table):
+        import csv as csv_module
+        import io
+
+        rows = list(csv_module.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == ["name", "value"]
+        assert rows[2][0] == 'with,comma "quoted"'
+
+
+class TestDiskPresets:
+    def test_era_ordering(self):
+        eras = ["scsi_1997", "hdd_7200", "sata_ssd", "nvme_ssd"]
+        times = [DiskParameters.preset(e).page_service_time_ms for e in eras]
+        assert times == sorted(times, reverse=True)
+
+    def test_paper_era_default_matches(self):
+        assert DiskParameters.preset(
+            "scsi_1997"
+        ).page_service_time_ms == pytest.approx(
+            DiskParameters().page_service_time_ms
+        )
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            DiskParameters.preset("floppy")
+
+    def test_page_bytes_override(self):
+        preset = DiskParameters.preset("sata_ssd", page_bytes=8192)
+        assert preset.page_bytes == 8192
+
+
+class TestBatchQueries:
+    def test_query_batch(self, medium_uniform, rng):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        engine = PagedEngine(store)
+        queries = rng.random((5, 8))
+        results = engine.query_batch(queries, k=3)
+        assert len(results) == 5
+        for query, result in zip(queries, results):
+            single = engine.query(query, 3)
+            assert [n.oid for n in result.neighbors] == [
+                n.oid for n in single.neighbors
+            ]
+
+    def test_query_batch_single_query(self, medium_uniform, rng):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        engine = PagedEngine(store)
+        results = engine.query_batch(rng.random(8), k=2)
+        assert len(results) == 1

@@ -1,0 +1,98 @@
+"""Tests for the d-dimensional Hilbert curve (Skilling algorithm)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hilbert import HilbertCurve
+
+
+def manhattan(a, b):
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+class TestBasics:
+    def test_dimensions_and_length(self):
+        curve = HilbertCurve(3, 2)
+        assert curve.side == 4
+        assert curve.length == 64
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(0, 1)
+        with pytest.raises(ValueError):
+            HilbertCurve(2, 0)
+
+    def test_coordinate_range_validation(self):
+        curve = HilbertCurve(2, 2)
+        with pytest.raises(ValueError):
+            curve.index_of((4, 0))
+        with pytest.raises(ValueError):
+            curve.index_of((0, 0, 0))
+        with pytest.raises(ValueError):
+            curve.coordinates_of(-1)
+        with pytest.raises(ValueError):
+            curve.coordinates_of(16)
+
+
+class TestKnownCurves:
+    def test_2d_order1(self):
+        curve = HilbertCurve(2, 1)
+        walk = [curve.coordinates_of(h) for h in range(4)]
+        assert walk == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_2d_order2_start_end(self):
+        curve = HilbertCurve(2, 2)
+        assert curve.coordinates_of(0) == (0, 0)
+        # The 2-d curve ends at the adjacent corner cell.
+        end = curve.coordinates_of(curve.length - 1)
+        assert end in {(3, 0), (0, 3)}
+
+    def test_order1_visits_all_quadrants(self):
+        for dimension in range(1, 8):
+            curve = HilbertCurve(dimension, 1)
+            visited = {
+                curve.coordinates_of(h) for h in range(curve.length)
+            }
+            assert visited == set(itertools.product((0, 1), repeat=dimension))
+
+
+class TestBijection:
+    @pytest.mark.parametrize(
+        "dimension,order", [(1, 5), (2, 3), (3, 2), (4, 2), (6, 1), (10, 1)]
+    )
+    def test_exhaustive_roundtrip(self, dimension, order):
+        curve = HilbertCurve(dimension, order)
+        seen = set()
+        for h in range(curve.length):
+            coords = curve.coordinates_of(h)
+            assert curve.index_of(coords) == h
+            seen.add(coords)
+        assert len(seen) == curve.length
+
+    @settings(deadline=None, max_examples=60)
+    @given(st.integers(1, 8), st.integers(1, 4), st.data())
+    def test_roundtrip_property(self, dimension, order, data):
+        curve = HilbertCurve(dimension, order)
+        index = data.draw(st.integers(0, curve.length - 1))
+        assert curve.index_of(curve.coordinates_of(index)) == index
+
+
+class TestLocality:
+    @pytest.mark.parametrize(
+        "dimension,order", [(2, 4), (3, 3), (4, 2), (5, 2), (8, 1)]
+    )
+    def test_consecutive_cells_are_adjacent(self, dimension, order):
+        curve = HilbertCurve(dimension, order)
+        previous = curve.coordinates_of(0)
+        limit = min(curve.length, 4096)
+        for h in range(1, limit):
+            current = curve.coordinates_of(h)
+            assert manhattan(previous, current) == 1
+            previous = current
+
+    def test_curve_starts_at_origin(self):
+        for dimension in range(1, 7):
+            curve = HilbertCurve(dimension, 2)
+            assert curve.coordinates_of(0) == (0,) * dimension

@@ -1,0 +1,67 @@
+"""Tests for the color-histogram workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.histograms import DEFAULT_SCENES, color_histograms
+from repro.index.knn import knn_linear_scan
+
+
+class TestColorHistograms:
+    def test_shape_and_range(self):
+        features, labels = color_histograms(500, 12, seed=1)
+        assert features.shape == (500, 12)
+        assert labels.shape == (500,)
+        assert features.min() >= 0.0
+        assert features.max() <= 1.0
+        assert set(labels.tolist()) <= set(range(len(DEFAULT_SCENES)))
+
+    def test_deterministic(self):
+        a, la = color_histograms(100, 8, seed=3)
+        b, lb = color_histograms(100, 8, seed=3)
+        assert np.array_equal(a, b)
+        assert np.array_equal(la, lb)
+
+    def test_scene_structure_drives_similarity(self):
+        """NN of a photo usually comes from the same scene."""
+        features, labels = color_histograms(3000, 12, seed=4)
+        rng = np.random.default_rng(5)
+        hits = 0
+        picks = rng.integers(0, len(features), 30)
+        for pick in picks:
+            neighbors = knn_linear_scan(features, features[pick], 2)
+            # neighbors[0] is the photo itself.
+            hits += labels[neighbors[1].oid] == labels[pick]
+        assert hits / len(picks) > 0.8
+
+    def test_concentration_controls_within_scene_tightness(self):
+        def within_scene_variance(concentration):
+            features, labels = color_histograms(
+                2000, 10, seed=6, concentration=concentration
+            )
+            return sum(
+                features[labels == scene].var(axis=0).sum()
+                for scene in np.unique(labels)
+            )
+
+        assert within_scene_variance(100.0) < within_scene_variance(3.0)
+
+    def test_custom_scenes(self):
+        features, labels = color_histograms(50, 6, seed=7,
+                                            scenes=("a", "b"))
+        assert set(labels.tolist()) <= {0, 1}
+
+    def test_empty_collection(self):
+        features, labels = color_histograms(0, 6, seed=8)
+        assert features.shape == (0, 6)
+        assert labels.shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            color_histograms(-1, 6)
+        with pytest.raises(ValueError):
+            color_histograms(10, 0)
+        with pytest.raises(ValueError):
+            color_histograms(10, 6, scenes=())
+        with pytest.raises(ValueError):
+            color_histograms(10, 6, concentration=0)

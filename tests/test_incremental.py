@@ -1,0 +1,78 @@
+"""Tests for the incremental (ranking) nearest-neighbor iterator."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load
+from repro.index.incremental import incremental_nearest
+from repro.index.knn import SearchStats, knn_best_first, knn_linear_scan
+from repro.index.rstar import RStarTree
+
+
+class TestIncrementalNearest:
+    def test_yields_in_distance_order(self, medium_uniform, rng):
+        tree = bulk_load(medium_uniform)
+        query = rng.random(8)
+        distances = [
+            n.distance
+            for n in itertools.islice(incremental_nearest(tree, query), 50)
+        ]
+        assert distances == sorted(distances)
+
+    def test_matches_oracle_prefixes(self, medium_uniform, rng):
+        tree = bulk_load(medium_uniform)
+        query = rng.random(8)
+        stream = list(
+            itertools.islice(incremental_nearest(tree, query), 25)
+        )
+        oracle = knn_linear_scan(medium_uniform, query, 25)
+        assert [n.distance for n in stream] == pytest.approx(
+            [n.distance for n in oracle]
+        )
+
+    def test_full_enumeration(self, small_uniform, rng):
+        tree = bulk_load(small_uniform)
+        query = rng.random(6)
+        everything = list(incremental_nearest(tree, query))
+        assert len(everything) == len(small_uniform)
+        assert {n.oid for n in everything} == set(range(len(small_uniform)))
+
+    def test_lazy_io(self, medium_uniform, rng):
+        """Consuming few results reads few pages; the cost is incurred
+        lazily."""
+        tree = bulk_load(medium_uniform)
+        query = rng.random(8)
+        stats_small = SearchStats()
+        list(itertools.islice(
+            incremental_nearest(tree, query, stats_small), 1
+        ))
+        stats_large = SearchStats()
+        list(itertools.islice(
+            incremental_nearest(tree, query, stats_large), 200
+        ))
+        assert stats_small.page_accesses < stats_large.page_accesses
+
+    def test_io_close_to_best_first(self, medium_uniform, rng):
+        """Consuming k results costs about what a k-NN query costs."""
+        tree = bulk_load(medium_uniform)
+        query = rng.random(8)
+        k = 10
+        stats = SearchStats()
+        list(itertools.islice(incremental_nearest(tree, query, stats), k))
+        _, batch = knn_best_first(tree, query, k)
+        assert stats.page_accesses <= batch.page_accesses + tree.height
+
+    def test_empty_tree(self):
+        tree = RStarTree(4)
+        assert list(incremental_nearest(tree, np.zeros(4))) == []
+
+    def test_works_on_dynamic_tree(self, rng):
+        points = rng.random((300, 5))
+        tree = RStarTree(5, leaf_cap=8, dir_cap=8)
+        tree.extend(points)
+        query = rng.random(5)
+        first = next(iter(incremental_nearest(tree, query)))
+        oracle = knn_linear_scan(points, query, 1)[0]
+        assert first.oid == oracle.oid

@@ -1,0 +1,82 @@
+"""Tests for the FBF 77 k-d tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.kdtree import KDTree
+from repro.index.knn import knn_linear_scan
+
+
+class TestConstruction:
+    def test_basic(self, small_uniform):
+        tree = KDTree(small_uniform)
+        assert len(tree) == len(small_uniform)
+        assert tree.num_leaves() >= len(small_uniform) // tree.leaf_size
+
+    def test_empty(self):
+        tree = KDTree(np.zeros((0, 3)))
+        result, stats = tree.knn(np.zeros(3), 1)
+        assert result == []
+        assert stats.page_accesses == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            KDTree(rng.random(5))
+        with pytest.raises(ValueError):
+            KDTree(rng.random((5, 2)), leaf_size=0)
+        with pytest.raises(ValueError):
+            KDTree(rng.random((5, 2)), oids=[1, 2])
+
+    def test_duplicates_handled(self):
+        points = np.tile([[0.5, 0.5]], (50, 1))
+        tree = KDTree(points, leaf_size=4)
+        result, _ = tree.knn([0.5, 0.5], 5)
+        assert len(result) == 5
+        assert all(n.distance == 0.0 for n in result)
+
+
+class TestSearch:
+    def test_matches_oracle(self, medium_uniform, rng):
+        tree = KDTree(medium_uniform, leaf_size=16)
+        for query in rng.random((15, 8)):
+            for k in (1, 5, 20):
+                result, _ = tree.knn(query, k)
+                oracle = knn_linear_scan(medium_uniform, query, k)
+                assert [n.distance for n in result] == pytest.approx(
+                    [n.distance for n in oracle]
+                )
+
+    def test_custom_oids(self, rng):
+        points = rng.random((100, 3))
+        tree = KDTree(points, oids=np.arange(100) + 7000)
+        result, _ = tree.knn(points[13], 1)
+        assert result[0].oid == 7013
+
+    def test_pruning_skips_buckets(self, rng):
+        points = rng.random((5000, 2))  # low-d: pruning is effective
+        tree = KDTree(points, leaf_size=16)
+        _, stats = tree.knn(rng.random(2), 1)
+        assert stats.leaf_accesses < tree.num_leaves() / 5
+
+    def test_degenerates_with_dimension(self, rng):
+        """FBF 77's degeneration in high-d: the fraction of visited leaf
+        buckets grows with the dimension (the paper's Section 2 point)."""
+        fractions = []
+        for dimension in (2, 8, 16):
+            points = rng.random((4000, dimension))
+            tree = KDTree(points, leaf_size=16)
+            _, stats = tree.knn(rng.random(dimension), 10)
+            fractions.append(stats.leaf_accesses / tree.num_leaves())
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 500))
+    def test_property_random(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((300, 4))
+        tree = KDTree(points, leaf_size=8)
+        query = rng.random(4)
+        result, _ = tree.knn(query, 7)
+        oracle = knn_linear_scan(points, query, 7)
+        assert result[-1].distance == pytest.approx(oracle[-1].distance)

@@ -1,0 +1,104 @@
+"""Tests for the self-reorganizing managed store."""
+
+import numpy as np
+import pytest
+
+from repro.index.knn import knn_linear_scan
+from repro.parallel.managed import ManagedStore
+
+
+class TestManagedStore:
+    def test_starts_empty(self):
+        managed = ManagedStore(4, num_disks=4)
+        assert len(managed) == 0
+        assert managed.reorganizations == 0
+
+    def test_insert_and_query(self, rng):
+        managed = ManagedStore(5, num_disks=8, min_batch=10_000)
+        points = rng.random((400, 5))
+        for oid, point in enumerate(points):
+            managed.insert(point, oid)
+        assert len(managed) == 400
+        query = rng.random(5)
+        neighbors = managed.neighbors(query, 3)
+        oracle = knn_linear_scan(points, query, 3)
+        assert [n.oid for n in neighbors] == [n.oid for n in oracle]
+
+    def test_extend_batch(self, rng):
+        managed = ManagedStore(4, num_disks=4, min_batch=10_000)
+        managed.extend(rng.random((300, 4)))
+        assert len(managed) == 300
+        managed.extend(rng.random((100, 4)))
+        assert len(managed) == 400
+
+    def test_skewed_stream_triggers_reorganization(self, rng):
+        managed = ManagedStore(4, num_disks=8, min_batch=200,
+                               drift_threshold=1.5)
+        # All data in a corner: the midpoint splits drift immediately.
+        managed.extend(rng.random((600, 4)) * 0.3)
+        assert managed.reorganizations >= 1
+        event = managed.events[0]
+        assert event.worst_ratio > 1.5
+        assert event.at_size <= 600
+
+    def test_reorganization_improves_balance(self, rng):
+        # High min_batch: the first extend builds with midpoint splits
+        # (all corner data on one disk), then a forced reorganization
+        # recomputes quantile splits and rebalances.
+        managed = ManagedStore(4, num_disks=8, min_batch=10**9)
+        managed.extend(rng.random((1000, 4)) * 0.3)
+
+        def imbalance():
+            loads = managed.store.disk_loads().astype(float)
+            return loads.max() / loads.mean()
+
+        before = imbalance()
+        event = managed.reorganize()
+        after = imbalance()
+        assert after < before
+        assert event.imbalance_after == pytest.approx(after)
+        assert event.imbalance_before == pytest.approx(before)
+
+    def test_uniform_stream_never_reorganizes(self, rng):
+        managed = ManagedStore(4, num_disks=8, min_batch=100,
+                               drift_threshold=2.0)
+        managed.extend(rng.random((1500, 4)))
+        assert managed.reorganizations == 0
+
+    def test_query_correct_after_reorganization(self, rng):
+        managed = ManagedStore(4, num_disks=8, min_batch=100,
+                               drift_threshold=1.3)
+        points = rng.random((800, 4)) * 0.25
+        managed.extend(points)
+        query = rng.random(4) * 0.25
+        neighbors = managed.neighbors(query, 5)
+        oracle = knn_linear_scan(points, query, 5)
+        assert [n.oid for n in neighbors] == [n.oid for n in oracle]
+
+    def test_forced_reorganize(self, rng):
+        managed = ManagedStore(3, num_disks=4, min_batch=10_000)
+        managed.extend(rng.random((200, 3)))
+        event = managed.reorganize()
+        assert managed.reorganizations == 1
+        assert event.at_size == 200
+
+    def test_recursive_mode(self, rng):
+        managed = ManagedStore(
+            4, num_disks=8, min_batch=100, drift_threshold=1.3,
+            recursive=True,
+        )
+        clusters = np.vstack([
+            0.2 + 0.02 * rng.standard_normal((400, 4)),
+            0.7 + 0.02 * rng.standard_normal((400, 4)),
+        ])
+        managed.extend(np.clip(clusters, 0, 1))
+        query = clusters[10]
+        oracle = knn_linear_scan(np.clip(clusters, 0, 1), query, 3)
+        assert [n.oid for n in managed.neighbors(query, 3)] == [
+            n.oid for n in oracle
+        ]
+
+    def test_dimension_mismatch(self):
+        managed = ManagedStore(4, num_disks=4)
+        with pytest.raises(ValueError):
+            managed.insert(np.zeros(3), 0)

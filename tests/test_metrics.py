@@ -1,0 +1,124 @@
+"""Tests for the metric abstraction and metric-aware kNN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.bulk import bulk_load
+from repro.index.knn import (
+    knn_best_first,
+    knn_branch_and_bound,
+    knn_linear_scan,
+)
+from repro.index.mbr import MBR
+from repro.index.metrics import Euclidean, LpMetric, WeightedEuclidean
+
+METRICS = [
+    Euclidean(),
+    WeightedEuclidean([1.0, 2.0, 0.5, 4.0]),
+    LpMetric(1),
+    LpMetric(3),
+    LpMetric(float("inf")),
+]
+
+
+class TestMetricBasics:
+    def test_euclidean_distance(self):
+        metric = Euclidean()
+        assert metric.distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_weighted_distance(self):
+        metric = WeightedEuclidean([4.0, 1.0])
+        assert metric.distance([0, 0], [1, 0]) == pytest.approx(2.0)
+        assert metric.distance([0, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_l1_distance(self):
+        metric = LpMetric(1)
+        assert metric.distance([0, 0], [1, 2]) == pytest.approx(3.0)
+
+    def test_chebyshev_distance(self):
+        metric = LpMetric(float("inf"))
+        assert metric.distance([0, 0], [1, 2]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedEuclidean([-1.0, 1.0])
+        with pytest.raises(ValueError):
+            WeightedEuclidean([0.0, 0.0])
+        with pytest.raises(ValueError):
+            LpMetric(0.5)
+
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: repr(type(m).__name__))
+    def test_metric_axioms_sampled(self, metric, rng):
+        a, b, c = rng.random((3, 4))
+        assert metric.distance(a, a) == pytest.approx(0.0)
+        assert metric.distance(a, b) == pytest.approx(metric.distance(b, a))
+        assert metric.distance(a, c) <= (
+            metric.distance(a, b) + metric.distance(b, c) + 1e-9
+        )
+
+
+class TestMindistBound:
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: repr(type(m).__name__))
+    def test_mindist_lower_bounds_points_inside(self, metric, rng):
+        for _ in range(20):
+            corners = rng.random((2, 4))
+            box = MBR(np.minimum(*corners), np.maximum(*corners))
+            query = rng.random(4)
+            inside = box.low + rng.random(4) * (box.high - box.low)
+            key = metric.point_keys(inside.reshape(1, -1), query)[0]
+            assert metric.mindist(box, query) <= key + 1e-9
+
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: repr(type(m).__name__))
+    def test_mindist_zero_inside(self, metric, rng):
+        box = MBR(np.zeros(4), np.ones(4))
+        assert metric.mindist(box, rng.random(4)) == pytest.approx(0.0)
+
+
+class TestMetricAwareKnn:
+    def oracle(self, points, query, k, metric):
+        keys = metric.point_keys(points, query)
+        order = np.argsort(keys, kind="stable")[:k]
+        return [metric.key_to_distance(keys[i]) for i in order]
+
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: repr(type(m).__name__))
+    def test_tree_search_matches_oracle(self, metric, rng):
+        points = rng.random((2000, 4))
+        tree = bulk_load(points)
+        for query in rng.random((8, 4)):
+            expected = self.oracle(points, query, 6, metric)
+            for algorithm in (knn_best_first, knn_branch_and_bound):
+                result, _ = algorithm(tree, query, 6, metric=metric)
+                assert [n.distance for n in result] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("metric", METRICS, ids=lambda m: repr(type(m).__name__))
+    def test_linear_scan_matches_oracle(self, metric, rng):
+        points = rng.random((500, 4))
+        query = rng.random(4)
+        result = knn_linear_scan(points, query, 5, metric=metric)
+        assert [n.distance for n in result] == pytest.approx(
+            self.oracle(points, query, 5, metric)
+        )
+
+    def test_weights_change_the_winner(self, rng):
+        points = np.array([[0.5, 0.0], [0.0, 0.4]])
+        query = np.zeros(2)
+        plain = knn_linear_scan(points, query, 1)
+        weighted = knn_linear_scan(
+            points, query, 1, metric=WeightedEuclidean([0.01, 1.0])
+        )
+        assert plain[0].oid == 1  # (0, 0.4) is closer in L2
+        assert weighted[0].oid == 0  # dim 0 is nearly free
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 300), st.sampled_from([1.0, 2.0, 4.0]))
+    def test_lp_property(self, seed, p):
+        rng = np.random.default_rng(seed)
+        points = rng.random((300, 3))
+        tree = bulk_load(points)
+        query = rng.random(3)
+        metric = LpMetric(p)
+        result, _ = knn_best_first(tree, query, 4, metric=metric)
+        keys = metric.point_keys(points, query)
+        best = metric.key_to_distance(np.sort(keys)[3])
+        assert result[-1].distance == pytest.approx(best)

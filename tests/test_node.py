@@ -1,0 +1,96 @@
+"""Tests for tree nodes and page-capacity math."""
+
+import numpy as np
+import pytest
+
+from repro.index.mbr import MBR
+from repro.index.node import (
+    LeafEntry,
+    Node,
+    directory_capacity,
+    leaf_capacity,
+)
+
+
+class TestCapacities:
+    def test_paper_page_size(self):
+        # 4 KB pages, d=15: leaf entry = 15*8 + 8 = 128 bytes -> 32 entries.
+        assert leaf_capacity(15) == 32
+        # directory entry = 2*15*8 + 8 = 248 bytes -> 16 entries.
+        assert directory_capacity(15) == 16
+
+    def test_minimum_capacity(self):
+        # Very high dimension still yields a workable fan-out.
+        assert leaf_capacity(500) >= 4
+        assert directory_capacity(500) >= 4
+
+    def test_scales_with_page_size(self):
+        assert leaf_capacity(15, 8192) == 2 * leaf_capacity(15)
+
+
+class TestLeafEntry:
+    def test_mbr_is_degenerate(self):
+        entry = LeafEntry(np.array([0.1, 0.2]), 7)
+        assert entry.mbr.area() == 0.0
+        assert entry.oid == 7
+
+
+class TestNode:
+    def test_leaf_mbr_tracking(self):
+        node = Node(is_leaf=True)
+        node.add(LeafEntry(np.array([0.2, 0.2]), 0))
+        node.add(LeafEntry(np.array([0.8, 0.4]), 1))
+        assert np.allclose(node.mbr.low, [0.2, 0.2])
+        assert np.allclose(node.mbr.high, [0.8, 0.4])
+
+    def test_recompute_after_removal(self):
+        entries = [
+            LeafEntry(np.array([0.1, 0.1]), 0),
+            LeafEntry(np.array([0.9, 0.9]), 1),
+        ]
+        node = Node(is_leaf=True, entries=entries)
+        node.entries.pop()
+        node.recompute_mbr()
+        assert np.allclose(node.mbr.high, [0.1, 0.1])
+
+    def test_empty_node_has_no_mbr(self):
+        node = Node(is_leaf=True)
+        assert node.mbr is None
+        node.recompute_mbr()
+        assert node.mbr is None
+
+    def test_directory_mbr(self):
+        leaf_a = Node(is_leaf=True, entries=[LeafEntry(np.zeros(2), 0)])
+        leaf_b = Node(is_leaf=True, entries=[LeafEntry(np.ones(2), 1)])
+        parent = Node(is_leaf=False, entries=[leaf_a, leaf_b])
+        assert parent.mbr == MBR([0, 0], [1, 1])
+
+    def test_height_and_counts(self):
+        leaves = [
+            Node(is_leaf=True, entries=[LeafEntry(np.full(2, i / 10), i)])
+            for i in range(3)
+        ]
+        parent = Node(is_leaf=False, entries=leaves)
+        root = Node(is_leaf=False, entries=[parent])
+        assert root.height() == 3
+        assert root.count_points() == 3
+        assert root.count_pages() == 5  # root + parent + 3 leaves
+
+    def test_supernode_pages(self):
+        leaf = Node(is_leaf=True, entries=[LeafEntry(np.zeros(2), 0)])
+        super_dir = Node(is_leaf=False, entries=[leaf], blocks=3)
+        assert super_dir.count_pages() == 4
+
+    def test_iter_leaves_order(self):
+        leaves = [
+            Node(is_leaf=True, entries=[LeafEntry(np.full(2, i / 10), i)])
+            for i in range(4)
+        ]
+        left = Node(is_leaf=False, entries=leaves[:2])
+        right = Node(is_leaf=False, entries=leaves[2:])
+        root = Node(is_leaf=False, entries=[left, right])
+        assert list(root.iter_leaves()) == leaves
+
+    def test_split_history_initialization(self):
+        node = Node(is_leaf=False, split_history={1, 3})
+        assert node.split_history == {1, 3}

@@ -1,0 +1,55 @@
+"""Tests for the graph-coloring comparator declusterer."""
+
+import pytest
+
+from repro.core.graph import is_near_optimal
+from repro.core.optimal import (
+    GraphColoringDeclusterer,
+    greedy_coloring_colors,
+)
+from repro.core.vertex_coloring import colors_required
+
+
+class TestGreedyColoringColors:
+    def test_never_beats_the_staircase(self):
+        """The paper's conjecture, empirically: no heuristic needs fewer
+        colors than col's staircase for these dimensions."""
+        for dimension in (1, 2, 3, 4, 5, 6, 8):
+            assert greedy_coloring_colors(dimension) >= colors_required(
+                dimension
+            ) or greedy_coloring_colors(dimension) >= dimension + 1
+
+    def test_at_least_lower_bound(self):
+        for dimension in (2, 4, 6):
+            assert greedy_coloring_colors(dimension) >= dimension + 1
+
+
+class TestGraphColoringDeclusterer:
+    def test_is_near_optimal_by_construction(self):
+        for dimension in (2, 3, 5, 7):
+            declusterer = GraphColoringDeclusterer(dimension)
+            assert is_near_optimal(declusterer.disk_for_bucket, dimension)
+
+    def test_assign_in_range(self, rng):
+        declusterer = GraphColoringDeclusterer(6)
+        assignment = declusterer.assign(rng.random((200, 6)))
+        assert assignment.min() >= 0
+        assert assignment.max() < declusterer.num_disks
+
+    def test_reduced_disks(self, rng):
+        declusterer = GraphColoringDeclusterer(6, num_disks=5)
+        assignment = declusterer.assign(rng.random((500, 6)))
+        assert set(assignment.tolist()) <= set(range(5))
+
+    def test_rejects_large_dimension(self):
+        with pytest.raises(ValueError):
+            GraphColoringDeclusterer(20)
+
+    def test_rejects_excess_disks(self):
+        declusterer = GraphColoringDeclusterer(3)
+        with pytest.raises(ValueError):
+            GraphColoringDeclusterer(3, num_disks=declusterer.colors_used + 5)
+
+    def test_color_count_recorded(self):
+        declusterer = GraphColoringDeclusterer(4)
+        assert declusterer.colors_used >= 5  # lower bound d+1

@@ -1,0 +1,149 @@
+"""Tests for the page-level declustered store (shared directory model)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HilbertDeclusterer
+from repro.core import NearOptimalDeclusterer
+from repro.index.bulk import bulk_load
+from repro.index.knn import knn_best_first, knn_linear_scan
+from repro.parallel.paged import (
+    PagedEngine,
+    PagedStore,
+    arrival_order_assignment,
+    striped_assignment,
+)
+
+
+class TestPagedStore:
+    def test_every_leaf_assigned(self, medium_uniform):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        assert len(store.page_disks) == len(store.leaves)
+        assert store.disk_loads().sum() == len(store.leaves)
+
+    def test_prebuilt_tree(self, medium_uniform):
+        tree = bulk_load(medium_uniform)
+        store = PagedStore(
+            tree=tree, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        assert store.tree is tree
+
+    def test_requires_points_or_tree(self):
+        with pytest.raises(ValueError):
+            PagedStore(declusterer=NearOptimalDeclusterer(4, 4))
+
+    def test_callable_needs_num_disks(self, small_uniform):
+        with pytest.raises(ValueError):
+            PagedStore(
+                points=small_uniform,
+                declusterer=striped_assignment(4),
+            )
+
+    def test_striped_assignment(self, medium_uniform):
+        store = PagedStore(
+            points=medium_uniform,
+            declusterer=striped_assignment(4),
+            num_disks=4,
+        )
+        loads = store.disk_loads()
+        assert loads.max() - loads.min() <= 1
+
+    def test_arrival_order_assignment_balanced(self, medium_uniform):
+        store = PagedStore(
+            points=medium_uniform,
+            declusterer=arrival_order_assignment(4, seed=7),
+            num_disks=4,
+        )
+        loads = store.disk_loads()
+        assert loads.max() - loads.min() <= 1
+
+    def test_arrival_order_deterministic(self, medium_uniform):
+        assign = arrival_order_assignment(6, seed=3)
+        centers = medium_uniform[:50]
+        assert np.array_equal(assign(centers), assign(centers))
+
+    def test_disk_of_consistency(self, medium_uniform):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        for leaf, disk in zip(store.leaves, store.page_disks):
+            assert store.disk_of(leaf) == disk
+
+    def test_insert_rebuilds_assignment(self, rng):
+        points = rng.random((500, 5))
+        store = PagedStore(
+            points=points, declusterer=NearOptimalDeclusterer(5, 8)
+        )
+        pages_before = len(store.leaves)
+        for oid in range(500, 600):
+            store.insert(rng.random(5), oid)
+        assert len(store) == 600
+        assert len(store.leaves) >= pages_before
+        assert len(store.page_disks) == len(store.leaves)
+
+
+class TestPagedEngine:
+    def test_matches_oracle(self, medium_uniform, rng):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        engine = PagedEngine(store)
+        for query in rng.random((8, 8)):
+            for k in (1, 6):
+                result = engine.query(query, k)
+                oracle = knn_linear_scan(medium_uniform, query, k)
+                assert [n.distance for n in result.neighbors] == \
+                    pytest.approx([n.distance for n in oracle])
+
+    def test_total_pages_equals_sequential_leaves(self, medium_uniform, rng):
+        """Page-level declustering reads exactly the sequential leaf set,
+        just spread over disks."""
+        tree = bulk_load(medium_uniform)
+        store = PagedStore(tree=tree, declusterer=NearOptimalDeclusterer(8, 8))
+        engine = PagedEngine(store)
+        for query in rng.random((5, 8)):
+            result = engine.query(query, 5)
+            _, stats = knn_best_first(tree, query, 5)
+            assert result.total_pages == stats.leaf_accesses
+
+    def test_one_disk_degenerates_to_sequential(self, medium_uniform, rng):
+        tree = bulk_load(medium_uniform)
+        store = PagedStore(
+            tree=tree, declusterer=striped_assignment(1), num_disks=1
+        )
+        engine = PagedEngine(store)
+        query = rng.random(8)
+        result = engine.query(query, 5)
+        assert result.max_pages == result.total_pages
+
+    def test_empty_store(self):
+        store = PagedStore(
+            points=np.zeros((0, 4)),
+            declusterer=NearOptimalDeclusterer(4, 4),
+        )
+        result = PagedEngine(store).query(np.zeros(4), 3)
+        assert result.neighbors == []
+        assert result.total_pages == 0
+
+    def test_declustering_reduces_busiest_disk(self, rng):
+        """More disks shrink the busiest-disk page count."""
+        points = rng.random((6000, 8))
+        tree = bulk_load(points)
+        query = rng.random(8)
+        maxima = []
+        for num_disks in (1, 4, 16):
+            store = PagedStore(
+                tree=tree,
+                declusterer=NearOptimalDeclusterer(8, num_disks),
+            )
+            maxima.append(PagedEngine(store).query(query, 10).max_pages)
+        assert maxima[0] > maxima[1] > maxima[2]
+
+    def test_hilbert_store_works(self, medium_uniform, rng):
+        store = PagedStore(
+            points=medium_uniform, declusterer=HilbertDeclusterer(8, 5)
+        )
+        result = PagedEngine(store).query(rng.random(8), 3)
+        assert len(result.neighbors) == 3

@@ -1,0 +1,155 @@
+"""Tests for exact tree/store serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import NearOptimalDeclusterer
+from repro.index.bulk import bulk_load
+from repro.index.knn import knn_best_first
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+from repro.parallel.paged import PagedEngine, PagedStore
+from repro.persistence import (
+    FrozenAssignment,
+    load_paged_store,
+    load_tree,
+    save_paged_store,
+    save_tree,
+)
+
+
+def tree_signature(tree):
+    """Structural fingerprint: node kinds, sizes, blocks, entry order."""
+    signature = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            signature.append(
+                ("leaf", node.blocks, tuple(e.oid for e in node.entries))
+            )
+        else:
+            signature.append(("dir", node.blocks, len(node.entries),
+                              tuple(sorted(node.split_history))))
+            stack.extend(reversed(node.entries))
+    return signature
+
+
+class TestTreeRoundTrip:
+    def test_bulk_loaded_xtree(self, medium_uniform, tmp_path):
+        tree = bulk_load(medium_uniform)
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        assert isinstance(restored, XTree)
+        assert restored.size == tree.size
+        assert tree_signature(restored) == tree_signature(tree)
+        restored.check_invariants()
+
+    def test_dynamic_rstar_tree(self, rng, tmp_path):
+        tree = RStarTree(5, leaf_cap=8, dir_cap=8)
+        tree.extend(rng.random((400, 5)))
+        path = tmp_path / "rstar.npz"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        assert isinstance(restored, RStarTree)
+        assert not isinstance(restored, XTree)
+        assert tree_signature(restored) == tree_signature(tree)
+        restored.check_invariants()
+
+    def test_supernodes_survive(self, rng, tmp_path):
+        tree = XTree(12, leaf_cap=8, dir_cap=8, max_overlap=0.0)
+        tree.extend(rng.random((400, 12)))
+        assert tree.supernode_count() > 0
+        path = tmp_path / "super.npz"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        assert restored.supernode_count() == tree.supernode_count()
+
+    def test_identical_query_results_and_costs(self, medium_uniform, rng,
+                                               tmp_path):
+        tree = bulk_load(medium_uniform)
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        for query in rng.random((5, 8)):
+            original, original_stats = knn_best_first(tree, query, 7)
+            loaded, loaded_stats = knn_best_first(restored, query, 7)
+            assert [n.oid for n in original] == [n.oid for n in loaded]
+            assert original_stats.page_accesses == loaded_stats.page_accesses
+
+    def test_restored_tree_is_updatable(self, small_uniform, rng, tmp_path):
+        tree = bulk_load(small_uniform)
+        path = tmp_path / "tree.npz"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        restored.insert(rng.random(6), 9999)
+        assert restored.delete(small_uniform[0], 0)
+        restored.check_invariants()
+
+    def test_empty_tree(self, tmp_path):
+        tree = XTree(4)
+        path = tmp_path / "empty.npz"
+        save_tree(tree, path)
+        restored = load_tree(path)
+        assert restored.size == 0
+
+
+class TestPagedStoreRoundTrip:
+    def test_round_trip(self, medium_uniform, rng, tmp_path):
+        store = PagedStore(
+            points=medium_uniform,
+            declusterer=NearOptimalDeclusterer(8, 8),
+        )
+        path = tmp_path / "store.npz"
+        save_paged_store(store, path)
+        restored = load_paged_store(path)
+        assert restored.num_disks == store.num_disks
+        assert np.array_equal(restored.page_disks, store.page_disks)
+        # Same query, same per-disk costs.
+        engine_a = PagedEngine(store)
+        engine_b = PagedEngine(restored)
+        for query in rng.random((4, 8)):
+            a = engine_a.query(query, 5)
+            b = engine_b.query(query, 5)
+            assert [n.oid for n in a.neighbors] == [
+                n.oid for n in b.neighbors
+            ]
+            assert np.array_equal(a.pages_per_disk, b.pages_per_disk)
+
+    def test_frozen_assignment_rejects_changed_pages(self):
+        frozen = FrozenAssignment(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            frozen(np.zeros((5, 3)))
+
+
+class TestPersistencePropertyBased:
+    """Round trips over randomly built dynamic trees."""
+
+    def test_random_dynamic_trees_roundtrip(self, tmp_path):
+        import numpy as np
+        from hypothesis import HealthCheck, given, settings
+        from hypothesis import strategies as st
+
+        @settings(
+            deadline=None,
+            max_examples=10,
+            suppress_health_check=[HealthCheck.function_scoped_fixture],
+        )
+        @given(st.integers(0, 10_000), st.integers(30, 150),
+               st.integers(2, 6))
+        def check(seed, count, dimension):
+            rng = np.random.default_rng(seed)
+            tree = XTree(dimension, leaf_cap=6, dir_cap=6)
+            tree.extend(rng.random((count, dimension)))
+            path = tmp_path / f"t{seed}.npz"
+            save_tree(tree, path)
+            restored = load_tree(path)
+            assert tree_signature(restored) == tree_signature(tree)
+            query = rng.random(dimension)
+            a, sa = knn_best_first(tree, query, 3)
+            b, sb = knn_best_first(restored, query, 3)
+            assert [n.oid for n in a] == [n.oid for n in b]
+            assert sa.page_accesses == sb.page_accesses
+
+        check()

@@ -1,0 +1,100 @@
+"""Tests for the graph-based NN index (Section 2's second family)."""
+
+import numpy as np
+import pytest
+
+from repro.index.knn import knn_linear_scan
+from repro.index.proximity_graph import KNNGraphIndex
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return np.random.default_rng(5).random((3000, 6))
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    return KNNGraphIndex(dataset, degree=10, seed=1)
+
+
+class TestConstruction:
+    def test_adjacency_shape(self, index, dataset):
+        assert index.neighbors.shape == (len(dataset), 10)
+
+    def test_adjacency_is_true_knn(self, index, dataset):
+        """The precalculated lists are the exact k nearest neighbors."""
+        rng = np.random.default_rng(2)
+        for vertex in rng.integers(0, len(dataset), 10):
+            truth = {
+                n.oid
+                for n in knn_linear_scan(dataset, dataset[vertex], 11)
+                if n.oid != vertex
+            }
+            assert set(index.neighbors[vertex].tolist()) <= truth
+
+    def test_no_self_loops(self, index):
+        for vertex in range(0, len(index), 97):
+            assert vertex not in index.neighbors[vertex]
+
+    def test_degree_capped_by_n(self):
+        index = KNNGraphIndex(np.random.default_rng(0).random((5, 3)),
+                              degree=50)
+        assert index.neighbors.shape == (5, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNGraphIndex(np.zeros(5))
+        with pytest.raises(ValueError):
+            KNNGraphIndex(np.zeros((5, 2)), degree=0)
+
+    def test_empty(self):
+        index = KNNGraphIndex(np.zeros((0, 3)))
+        result, _ = index.knn(np.zeros(3), 2)
+        assert result == []
+
+
+class TestSearch:
+    def test_high_recall_with_wide_beam(self, index, dataset):
+        rng = np.random.default_rng(3)
+        queries = rng.random((15, 6))
+        assert index.recall(queries, k=10, beam_width=64) > 0.9
+
+    def test_recall_improves_with_beam_width(self, index):
+        rng = np.random.default_rng(4)
+        queries = rng.random((15, 6))
+        narrow = index.recall(queries, k=10, beam_width=10)
+        wide = index.recall(queries, k=10, beam_width=128)
+        assert wide >= narrow
+
+    def test_query_on_data_point_finds_it(self, index, dataset):
+        result, _ = index.knn(dataset[42], k=1, beam_width=64)
+        assert result[0].oid == 42
+        assert result[0].distance == pytest.approx(0.0)
+
+    def test_results_sorted(self, index):
+        result, _ = index.knn(np.full(6, 0.5), k=8, beam_width=64)
+        distances = [n.distance for n in result]
+        assert distances == sorted(distances)
+
+    def test_work_counted(self, index):
+        _, stats = index.knn(np.full(6, 0.5), k=5, beam_width=32)
+        assert stats.distance_computations > 0
+        assert stats.node_accesses > 0
+
+    def test_approximate_far_cheaper_than_scan(self, index, dataset):
+        """The precalculated graph pays off: far fewer distance
+        computations than a linear scan, at high recall."""
+        _, stats = index.knn(np.full(6, 0.5), k=10, beam_width=32)
+        assert stats.distance_computations < len(dataset) / 4
+
+    def test_invalid_k(self, index):
+        with pytest.raises(ValueError):
+            index.knn(np.zeros(6), k=0)
+
+    def test_custom_oids(self):
+        rng = np.random.default_rng(6)
+        points = rng.random((100, 3))
+        index = KNNGraphIndex(points, degree=5,
+                              oids=np.arange(100) + 5000)
+        result, _ = index.knn(points[7], k=1, beam_width=32)
+        assert result[0].oid == 5007

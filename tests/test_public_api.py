@@ -1,0 +1,33 @@
+"""Tests for the top-level package surface."""
+
+import numpy as np
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_docstring_quickstart_runs(self):
+        points = np.random.default_rng(0).random((5000, 8))
+        store = repro.PagedStore(
+            points=points,
+            declusterer=repro.NearOptimalDeclusterer(8, num_disks=8),
+        )
+        engine = repro.PagedEngine(store)
+        result = engine.query(points[42], k=5)
+        assert [n.oid for n in result.neighbors][0] == 42
+
+    def test_core_objects_constructible(self):
+        assert repro.col(5) == 2
+        assert repro.colors_required(15) == 16
+        assert repro.is_near_optimal(repro.col, 4)
+        curve = repro.HilbertCurve(3, 2)
+        assert curve.index_of(curve.coordinates_of(17)) == 17
+        params = repro.DiskParameters()
+        assert params.page_service_time_ms > 0

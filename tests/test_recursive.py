@@ -1,0 +1,115 @@
+"""Tests for recursive declustering of overloaded disks."""
+
+import numpy as np
+import pytest
+
+from repro.core.declustering import load_imbalance
+from repro.core.recursive import RecursiveDeclusterer, cyclic_permutation
+from repro.core.vertex_coloring import colors_required
+from repro.data import correlated_points, gaussian_clusters
+
+
+class TestCyclicPermutation:
+    def test_is_permutation(self):
+        for n in (2, 4, 16):
+            for shift in range(n):
+                perm = cyclic_permutation(n, shift)
+                assert sorted(perm.tolist()) == list(range(n))
+
+    def test_shift_zero_is_identity(self):
+        assert cyclic_permutation(8, 0).tolist() == list(range(8))
+
+
+class TestRecursiveDeclusterer:
+    def test_no_levels_equals_plain_col(self, rng):
+        points = rng.random((1000, 6))
+        declusterer = RecursiveDeclusterer(6, max_levels=0).fit(points)
+        assert declusterer.report.levels_used == 0
+        # Uniform data is already balanced; assignment within range.
+        assignment = declusterer.assign(points)
+        assert assignment.min() >= 0
+        assert assignment.max() < colors_required(6)
+
+    def test_improves_imbalance_on_clustered_data(self):
+        points = gaussian_clusters(8000, 8, num_clusters=3, spread=0.03,
+                                   seed=3)
+        declusterer = RecursiveDeclusterer(
+            8, max_levels=10, imbalance_threshold=1.1
+        ).fit(points)
+        report = declusterer.report
+        assert report.levels_used > 0
+        assert report.final_imbalance < report.initial_imbalance
+
+    def test_improves_imbalance_on_correlated_data(self):
+        points = correlated_points(8000, 8, intrinsic_dimension=2, seed=4)
+        declusterer = RecursiveDeclusterer(
+            8, max_levels=10, imbalance_threshold=1.1
+        ).fit(points)
+        assignment = declusterer.assign(points)
+        assert load_imbalance(assignment, declusterer.num_disks) <= \
+            declusterer.report.initial_imbalance
+
+    def test_assign_is_deterministic_replay(self):
+        points = gaussian_clusters(4000, 6, num_clusters=2, spread=0.04,
+                                   seed=5)
+        declusterer = RecursiveDeclusterer(6, max_levels=6).fit(points)
+        first = declusterer.assign(points)
+        second = declusterer.assign(points)
+        assert np.array_equal(first, second)
+
+    def test_assign_works_on_unseen_points(self, rng):
+        points = gaussian_clusters(4000, 6, num_clusters=2, spread=0.04,
+                                   seed=5)
+        declusterer = RecursiveDeclusterer(6, max_levels=6).fit(points)
+        unseen = rng.random((100, 6))
+        assignment = declusterer.assign(unseen)
+        assert assignment.shape == (100,)
+        assert assignment.min() >= 0
+        assert assignment.max() < declusterer.num_disks
+
+    def test_balanced_data_stops_immediately(self, rng):
+        points = rng.random((20000, 8))
+        declusterer = RecursiveDeclusterer(
+            8, 16, imbalance_threshold=1.5
+        ).fit(points)
+        assert declusterer.report.levels_used == 0
+
+    def test_quantile_top_level_split(self):
+        # Data confined to a sub-cube: midpoint splits collapse, quantile
+        # splits spread.
+        rng = np.random.default_rng(6)
+        points = rng.random((5000, 6)) * 0.3
+        from repro.core.adaptive import quantile_split_values
+
+        midpoint = RecursiveDeclusterer(6, max_levels=0).fit(points)
+        quantile = RecursiveDeclusterer(
+            6, max_levels=0, split_values=quantile_split_values(points)
+        ).fit(points)
+        assert quantile.report.initial_imbalance < \
+            midpoint.report.initial_imbalance
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RecursiveDeclusterer(4, num_disks=100)
+        with pytest.raises(ValueError):
+            RecursiveDeclusterer(4, max_levels=-1)
+        with pytest.raises(ValueError):
+            RecursiveDeclusterer(4, imbalance_threshold=0.9)
+        with pytest.raises(ValueError):
+            RecursiveDeclusterer(4, split_values=np.zeros(3))
+
+    def test_fit_validates_shape(self):
+        declusterer = RecursiveDeclusterer(4)
+        with pytest.raises(ValueError):
+            declusterer.fit(np.zeros((10, 3)))
+
+    def test_levels_record_refined_disk(self):
+        points = gaussian_clusters(6000, 8, num_clusters=2, spread=0.02,
+                                   seed=8)
+        declusterer = RecursiveDeclusterer(8, max_levels=5).fit(points)
+        for level in declusterer.levels:
+            assert 0 <= level.refined_disk < declusterer.num_disks
+            assert level.split_values.shape == (8,)
+            assert sorted(level.permutation.tolist()) == list(
+                range(declusterer.num_colors)
+            )

@@ -1,0 +1,55 @@
+"""Tests for the markdown reproduction report."""
+
+from repro.cli import main
+from repro.experiments.harness import ResultTable
+from repro.experiments.report import generate_report
+
+
+def _tiny_runner(scale=1.0, seed=0):
+    table = ResultTable("Tiny", ["a"])
+    table.add_row(scale)
+    return table
+
+
+def _unscaled_runner():
+    table = ResultTable("Unscaled", ["b"])
+    table.add_row(42)
+    return table
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self):
+        report = generate_report(
+            figures={"tiny": _tiny_runner, "fixed": _unscaled_runner},
+            unscaled={"fixed"},
+            scale=0.5,
+            ablations={"ab": _tiny_runner},
+        )
+        assert "# Reproduction report" in report
+        assert "## Figures" in report
+        assert "## Ablations and extensions" in report
+        assert "### Tiny" in report
+        assert "### Unscaled" in report
+        assert "| 0.5 |" in report  # scale reached the runner
+        assert "| 42 |" in report
+
+    def test_progress_callback(self):
+        seen = []
+        generate_report(
+            figures={"tiny": _tiny_runner},
+            unscaled=set(),
+            progress=seen.append,
+        )
+        assert seen == ["tiny"]
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        # Run just the fast analytic figures by monkeypatching would be
+        # intrusive; a very small scale keeps this test quick instead.
+        assert main([
+            "report", "--scale", "0.01", "--figures-only",
+            "--out", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "Figure 10" in text

@@ -1,0 +1,190 @@
+"""Tests for the dynamic R\\*-tree: insertion, deletion, queries,
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.knn import knn_best_first, knn_linear_scan
+from repro.index.rstar import RStarTree
+
+
+def build(points, **kwargs):
+    tree = RStarTree(points.shape[1], **kwargs)
+    tree.extend(points)
+    return tree
+
+
+class TestConstruction:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RStarTree(0)
+        with pytest.raises(ValueError):
+            RStarTree(2, min_fill=0.9)
+        with pytest.raises(ValueError):
+            RStarTree(2, reinsert_fraction=1.5)
+        with pytest.raises(ValueError):
+            RStarTree(2, leaf_cap=2)
+
+    def test_empty_tree(self):
+        tree = RStarTree(3)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.window_query([0, 0, 0], [1, 1, 1]) == []
+        results, stats = knn_best_first(tree, np.zeros(3), 1)
+        assert results == []
+        assert stats.page_accesses == 0
+
+
+class TestInsertion:
+    def test_single_insert_retrievable(self):
+        tree = RStarTree(2)
+        tree.insert([0.5, 0.5], 42)
+        hits = tree.point_query([0.5, 0.5])
+        assert [h.oid for h in hits] == [42]
+
+    def test_insert_wrong_shape(self):
+        tree = RStarTree(2)
+        with pytest.raises(ValueError):
+            tree.insert([0.5], 0)
+
+    def test_all_inserted_points_retrievable(self, small_uniform):
+        tree = build(small_uniform)
+        assert len(tree) == len(small_uniform)
+        for oid, point in enumerate(small_uniform):
+            hits = tree.point_query(point)
+            assert oid in {h.oid for h in hits}
+
+    def test_invariants_maintained(self, small_uniform):
+        tree = build(small_uniform)
+        tree.check_invariants()
+
+    def test_tree_grows_in_height(self, rng):
+        tree = RStarTree(4, leaf_cap=8, dir_cap=8)
+        tree.extend(rng.random((300, 4)))
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_duplicate_points_allowed(self):
+        tree = RStarTree(2)
+        for oid in range(10):
+            tree.insert([0.5, 0.5], oid)
+        assert len(tree.point_query([0.5, 0.5])) == 10
+
+    def test_extend_default_oids(self, rng):
+        tree = RStarTree(3)
+        tree.extend(rng.random((20, 3)))
+        tree.extend(rng.random((20, 3)))
+        oids = {entry.oid for entry in tree.all_entries()}
+        assert oids == set(range(40))
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10_000), st.integers(20, 120))
+    def test_random_insertions_keep_invariants(self, seed, count):
+        rng = np.random.default_rng(seed)
+        tree = RStarTree(3, leaf_cap=6, dir_cap=6)
+        tree.extend(rng.random((count, 3)))
+        tree.check_invariants()
+        # kNN equals the oracle on the same data.
+        points = np.vstack([e.point for e in tree.all_entries()])
+        query = rng.random(3)
+        result, _ = knn_best_first(tree, query, 3)
+        oracle = knn_linear_scan(points, query, 3)
+        assert result[-1].distance == pytest.approx(oracle[-1].distance)
+
+
+class TestWindowQuery:
+    def test_window_semantics(self, rng):
+        points = rng.random((400, 3))
+        tree = build(points)
+        low, high = np.full(3, 0.25), np.full(3, 0.75)
+        expected = {
+            i
+            for i, p in enumerate(points)
+            if (p >= low).all() and (p <= high).all()
+        }
+        hits = {e.oid for e in tree.window_query(low, high)}
+        assert hits == expected
+
+    def test_empty_window(self, small_uniform):
+        tree = build(small_uniform)
+        assert tree.window_query([2, 2, 2, 2, 2, 2], [3, 3, 3, 3, 3, 3]) == []
+
+
+class TestDeletion:
+    def test_delete_returns_false_for_missing(self, small_uniform):
+        tree = build(small_uniform)
+        assert not tree.delete(np.full(6, 0.5), 10_000)
+
+    def test_delete_then_not_found(self, small_uniform):
+        tree = build(small_uniform)
+        assert tree.delete(small_uniform[7], 7)
+        assert 7 not in {h.oid for h in tree.point_query(small_uniform[7])}
+        assert len(tree) == len(small_uniform) - 1
+
+    def test_delete_half_keeps_invariants(self, rng):
+        points = rng.random((300, 3))
+        tree = RStarTree(3, leaf_cap=6, dir_cap=6)
+        tree.extend(points)
+        for oid in range(0, 300, 2):
+            assert tree.delete(points[oid], oid)
+        tree.check_invariants()
+        assert len(tree) == 150
+        # Remaining points still retrievable.
+        for oid in range(1, 300, 2):
+            assert oid in {h.oid for h in tree.point_query(points[oid])}
+
+    def test_delete_everything(self, rng):
+        points = rng.random((120, 3))
+        tree = RStarTree(3, leaf_cap=6, dir_cap=6)
+        tree.extend(points)
+        for oid, point in enumerate(points):
+            assert tree.delete(point, oid)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_root_shrinks_after_mass_delete(self, rng):
+        points = rng.random((300, 3))
+        tree = RStarTree(3, leaf_cap=6, dir_cap=6)
+        tree.extend(points)
+        height_before = tree.height
+        for oid in range(280):
+            tree.delete(points[oid], oid)
+        assert tree.height <= height_before
+        tree.check_invariants()
+
+    def test_delete_and_reinsert_cycle(self, rng):
+        points = rng.random((150, 4))
+        tree = RStarTree(4, leaf_cap=6, dir_cap=6)
+        tree.extend(points)
+        for cycle in range(3):
+            for oid in range(50):
+                assert tree.delete(points[oid], oid)
+            for oid in range(50):
+                tree.insert(points[oid], oid)
+            tree.check_invariants()
+        assert len(tree) == 150
+
+
+class TestStructure:
+    def test_num_pages_counts_all_nodes(self, small_uniform):
+        tree = build(small_uniform)
+        expected = 0
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            expected += node.blocks
+            if not node.is_leaf:
+                stack.extend(node.entries)
+        assert tree.num_pages() == expected
+
+    def test_capacity_and_min_entries(self):
+        tree = RStarTree(4, leaf_cap=10, dir_cap=8, min_fill=0.4)
+        from repro.index.node import Node
+
+        leaf = Node(is_leaf=True)
+        directory = Node(is_leaf=False)
+        assert tree.capacity(leaf) == 10
+        assert tree.capacity(directory) == 8
+        assert tree.min_entries(leaf) == 4
+        assert tree.min_entries(directory) == 3

@@ -1,0 +1,124 @@
+"""Whitebox tests for R\\*-tree internals: subtree choice, splits,
+reinsertion."""
+
+import numpy as np
+import pytest
+
+from repro.index.mbr import MBR
+from repro.index.node import LeafEntry, Node
+from repro.index.rstar import RStarTree
+
+
+def leaf_of(points, oids=None):
+    oids = oids or range(len(points))
+    return Node(
+        is_leaf=True,
+        entries=[LeafEntry(np.asarray(p, float), o)
+                 for p, o in zip(points, oids)],
+    )
+
+
+class TestChooseSubtree:
+    def test_directory_minimizes_area_enlargement(self):
+        tree = RStarTree(2, leaf_cap=4, dir_cap=4)
+        # Two subtrees of directory nodes: one near, one far.
+        near_leaf = leaf_of([[0.1, 0.1], [0.2, 0.2]])
+        far_leaf = leaf_of([[0.8, 0.8], [0.9, 0.9]], oids=[2, 3])
+        near = Node(is_leaf=False, entries=[near_leaf])
+        far = Node(is_leaf=False, entries=[far_leaf])
+        root = Node(is_leaf=False, entries=[near, far])
+        chosen = tree._choose_subtree(root, MBR.from_point([0.15, 0.15]))
+        assert chosen is near
+
+    def test_leaf_parent_minimizes_overlap_enlargement(self):
+        tree = RStarTree(2, leaf_cap=4, dir_cap=4)
+        left = leaf_of([[0.0, 0.0], [0.4, 1.0]])
+        right = leaf_of([[0.6, 0.0], [1.0, 1.0]], oids=[2, 3])
+        parent = Node(is_leaf=False, entries=[left, right])
+        # Point on the left: enlarging the right leaf would create
+        # overlap; the left needs none.
+        chosen = tree._choose_subtree(parent, MBR.from_point([0.2, 0.5]))
+        assert chosen is left
+
+
+class TestTopologicalSplit:
+    def test_split_separates_bimodal_data(self):
+        tree = RStarTree(2, leaf_cap=8, dir_cap=8)
+        cluster_a = [[0.1 + 0.01 * i, 0.1] for i in range(5)]
+        cluster_b = [[0.9 - 0.01 * i, 0.9] for i in range(5)]
+        node = leaf_of(cluster_a + cluster_b)
+        left, right, axis = tree._topological_split(node)
+        xs_left = {round(float(e.point[0]), 1) for e in left}
+        xs_right = {round(float(e.point[0]), 1) for e in right}
+        # The split separates the clusters (one side near 0.1, other 0.9).
+        assert xs_left.isdisjoint(xs_right)
+
+    def test_split_respects_min_entries(self, rng):
+        tree = RStarTree(3, leaf_cap=10, dir_cap=10, min_fill=0.4)
+        node = leaf_of(rng.random((11, 3)))
+        left, right, _ = tree._topological_split(node)
+        assert min(len(left), len(right)) >= tree.min_entries(node)
+        assert len(left) + len(right) == 11
+
+    def test_zero_area_entries_split_cleanly(self):
+        tree = RStarTree(2, leaf_cap=4, dir_cap=4)
+        node = leaf_of([[0.5, 0.5]] * 5)
+        left, right, _ = tree._topological_split(node)
+        assert len(left) + len(right) == 5
+        assert min(len(left), len(right)) >= 2
+
+
+class TestForcedReinsert:
+    def test_reinsert_happens_once_per_level(self, rng):
+        """The R* OT1 rule: overflow on a level forces reinsertion the
+        first time and splits afterwards, within one insertion."""
+        tree = RStarTree(2, leaf_cap=4, dir_cap=4)
+        calls = {"reinsert": 0, "split": 0}
+        original_reinsert = tree._reinsert
+        original_split = tree._split_node
+
+        def counting_reinsert(path, level):
+            calls["reinsert"] += 1
+            return original_reinsert(path, level)
+
+        def counting_split(path, level):
+            calls["split"] += 1
+            return original_split(path, level)
+
+        tree._reinsert = counting_reinsert
+        tree._split_node = counting_split
+        tree.extend(rng.random((60, 2)))
+        assert calls["reinsert"] > 0
+        assert calls["split"] > 0
+        tree.check_invariants()
+
+    def test_root_overflow_always_splits(self):
+        """The root is exempt from forced reinsertion."""
+        tree = RStarTree(2, leaf_cap=4, dir_cap=4)
+        for i in range(5):  # overflow the root leaf
+            tree.insert([0.1 * i, 0.1 * i], i)
+        assert tree.height == 2
+        tree.check_invariants()
+
+
+class TestSplitPropagation:
+    def test_deep_tree_from_many_inserts(self, rng):
+        tree = RStarTree(2, leaf_cap=4, dir_cap=4)
+        tree.extend(rng.random((500, 2)))
+        assert tree.height >= 4
+        tree.check_invariants()
+
+    def test_split_history_propagates_axis(self, rng):
+        tree = RStarTree(3, leaf_cap=4, dir_cap=4)
+        tree.extend(rng.random((100, 3)))
+        # Nodes created by splits carry the split axis.
+        found_history = False
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.split_history:
+                found_history = True
+                assert all(0 <= a < 3 for a in node.split_history)
+            if not node.is_leaf:
+                stack.extend(node.entries)
+        assert found_history

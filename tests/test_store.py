@@ -1,0 +1,89 @@
+"""Tests for the item-level declustered store (per-disk trees)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RoundRobinDeclusterer
+from repro.core import NearOptimalDeclusterer
+from repro.parallel.store import DeclusteredStore
+
+
+class TestConstruction:
+    def test_basic(self, medium_uniform):
+        store = DeclusteredStore(
+            medium_uniform, NearOptimalDeclusterer(8, 8)
+        )
+        assert len(store) == len(medium_uniform)
+        assert store.num_disks == 8
+        assert len(store.trees) == 8
+
+    def test_all_points_stored_once(self, medium_uniform):
+        store = DeclusteredStore(
+            medium_uniform, RoundRobinDeclusterer(8, 5)
+        )
+        total = sum(tree.size for tree in store.trees)
+        assert total == len(medium_uniform)
+
+    def test_assignment_matches_trees(self, medium_uniform):
+        store = DeclusteredStore(
+            medium_uniform, RoundRobinDeclusterer(8, 4)
+        )
+        for disk, tree in enumerate(store.trees):
+            expected = int((store.assignment == disk).sum())
+            assert tree.size == expected
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            DeclusteredStore(rng.random((10, 5)), NearOptimalDeclusterer(8, 4))
+
+    def test_oids_preserved(self, rng):
+        points = rng.random((100, 4))
+        oids = np.arange(500, 600)
+        store = DeclusteredStore(
+            points, RoundRobinDeclusterer(4, 3), oids=oids
+        )
+        found = set()
+        for tree in store.trees:
+            found.update(e.oid for e in tree.all_entries())
+        assert found == set(oids.tolist())
+
+    def test_disk_loads(self, medium_uniform):
+        store = DeclusteredStore(
+            medium_uniform, RoundRobinDeclusterer(8, 4)
+        )
+        loads = store.disk_loads()
+        assert loads.sum() == len(medium_uniform)
+        assert loads.max() - loads.min() <= 1  # RR is perfectly balanced
+
+    def test_pages_per_disk(self, medium_uniform):
+        store = DeclusteredStore(
+            medium_uniform, RoundRobinDeclusterer(8, 4)
+        )
+        assert (store.pages_per_disk() > 0).all()
+
+
+class TestUpdates:
+    def test_insert_routes_by_declusterer(self, rng):
+        points = rng.random((200, 6))
+        declusterer = NearOptimalDeclusterer(6, 8)
+        store = DeclusteredStore(points, declusterer)
+        new_point = rng.random(6)
+        disk = store.insert(new_point, 999)
+        expected = int(declusterer.assign(new_point.reshape(1, -1))[0])
+        assert disk == expected
+        assert len(store) == 201
+        assert store.trees[disk].size == int(
+            (store.assignment == disk).sum()
+        )
+
+    def test_delete_existing(self, rng):
+        points = rng.random((200, 6))
+        store = DeclusteredStore(points, NearOptimalDeclusterer(6, 8))
+        assert store.delete(points[13], 13)
+        assert len(store) == 199
+        assert not store.delete(points[13], 13)
+
+    def test_delete_missing_point(self, rng):
+        points = rng.random((50, 6))
+        store = DeclusteredStore(points, NearOptimalDeclusterer(6, 8))
+        assert not store.delete(rng.random(6), 13)

@@ -1,0 +1,82 @@
+"""Tests for the multi-query throughput simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import NearOptimalDeclusterer
+from repro.parallel.paged import PagedStore
+from repro.parallel.throughput import ThroughputSimulator
+
+
+@pytest.fixture
+def simulator(medium_uniform):
+    store = PagedStore(
+        points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+    )
+    return ThroughputSimulator(store)
+
+
+class TestThroughputSimulator:
+    def test_report_fields(self, simulator, rng):
+        report = simulator.run(rng.random((6, 8)), k=5)
+        assert report.num_queries == 6
+        assert report.makespan_ms > 0
+        assert report.mean_latency_ms > 0
+        assert report.throughput_qps > 0
+        assert report.pages_per_disk.sum() > 0
+
+    def test_makespan_is_busiest_disk(self, simulator, rng):
+        report = simulator.run(rng.random((4, 8)), k=5)
+        t_page = report.page_service_time_ms
+        assert report.makespan_ms == pytest.approx(
+            report.pages_per_disk.max() * t_page
+        )
+
+    def test_latency_at_least_single_query_time(self, simulator, rng):
+        query = rng.random(8)
+        single = simulator.run(query.reshape(1, -1), k=5)
+        batch = simulator.run(
+            np.vstack([query] + [rng.random(8) for _ in range(5)]), k=5
+        )
+        assert batch.mean_latency_ms >= single.mean_latency_ms
+
+    def test_throughput_grows_with_disks(self, medium_uniform, rng):
+        queries = rng.random((8, 8))
+        rates = []
+        for num_disks in (1, 4, 8):
+            store = PagedStore(
+                points=medium_uniform,
+                declusterer=NearOptimalDeclusterer(8, num_disks),
+            )
+            report = ThroughputSimulator(store).run(queries, k=5)
+            rates.append(report.throughput_qps)
+        assert rates == sorted(rates)
+        assert rates[-1] > 2 * rates[0]
+
+    def test_utilization_bounded(self, simulator, rng):
+        report = simulator.run(rng.random((6, 8)), k=5)
+        utilization = report.utilization
+        assert (utilization <= 1.0 + 1e-9).all()
+        assert utilization.max() == pytest.approx(1.0)
+
+    def test_aggregate_imbalance(self, simulator, rng):
+        report = simulator.run(rng.random((6, 8)), k=5)
+        assert report.aggregate_imbalance >= 1.0
+
+    def test_empty_batch(self, simulator):
+        report = simulator.run(np.zeros((0, 8)), k=5)
+        assert report.num_queries == 0
+        assert report.makespan_ms == 0.0
+        assert report.throughput_qps == float("inf")
+
+    def test_single_query_matches_engine(self, simulator, rng):
+        from repro.parallel.paged import PagedEngine
+
+        query = rng.random(8)
+        report = simulator.run(query.reshape(1, -1), k=5)
+        engine_result = PagedEngine(
+            simulator.store, simulator.parameters
+        ).query(query, 5)
+        assert report.makespan_ms == pytest.approx(
+            engine_result.parallel_time_ms
+        )

@@ -1,0 +1,57 @@
+"""Tests for model validation and the reproduction scorecard."""
+
+import pytest
+
+from repro.analysis.validation import ModelCheck, validate_cost_model
+from repro.cli import main
+from repro.experiments.verify import CLAIMS, verify_reproduction
+
+
+class TestCostModelValidation:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return validate_cost_model(dimensions=(2, 4, 8), num_points=8000,
+                                   num_queries=10)
+
+    def test_one_check_per_dimension(self, checks):
+        assert [c.dimension for c in checks] == [2, 4, 8]
+
+    def test_low_d_radius_accurate(self, checks):
+        assert checks[0].radius_ratio == pytest.approx(1.0, rel=0.35)
+
+    def test_model_underestimates_in_high_d(self, checks):
+        """Boundary effects make the sphere-volume model one-sidedly
+        optimistic as d grows (strict monotonicity is noisy, so compare
+        the ends of the sweep)."""
+        assert checks[-1].radius_ratio < checks[0].radius_ratio
+        assert checks[-1].radius_ratio < 1.0
+
+    def test_pages_positive(self, checks):
+        for check in checks:
+            assert check.predicted_pages > 0
+            assert check.measured_pages > 0
+            assert check.pages_ratio > 0
+
+    def test_modelcheck_is_frozen(self, checks):
+        with pytest.raises(Exception):
+            checks[0].dimension = 99
+
+
+class TestVerifyScorecard:
+    def test_all_claims_pass_at_small_scale(self):
+        results = verify_reproduction(scale=0.12)
+        failed = [r.claim for r in results if not r.passed]
+        assert not failed, f"failed claims: {failed}"
+        assert len(results) == len(CLAIMS)
+
+    def test_results_carry_evidence(self):
+        results = verify_reproduction(scale=0.12)
+        for result in results:
+            assert result.evidence
+            assert result.seconds >= 0
+
+    def test_cli_verify_exit_code(self, capsys):
+        assert main(["verify", "--scale", "0.12"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 claims verified" in out
+        assert "PASS" in out

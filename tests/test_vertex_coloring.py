@@ -1,0 +1,198 @@
+"""Tests for the col coloring function and NearOptimalDeclusterer.
+
+Each lemma of Section 4.2 has a direct check here, both exhaustively for
+small dimensions and property-based for larger bucket numbers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bits import (
+    all_neighbors,
+    direct_neighbors,
+    indirect_neighbors,
+)
+from repro.core.declustering import load_imbalance
+from repro.core.graph import is_near_optimal
+from repro.core.vertex_coloring import (
+    NearOptimalDeclusterer,
+    col,
+    col_array,
+    color_lower_bound,
+    color_upper_bound,
+    colors_required,
+)
+
+
+class TestCol:
+    def test_paper_example(self):
+        # Vertex 5 = 101b in a 3-d space: (0+1) XOR (2+1) = 1 XOR 3 = 2.
+        assert col(5) == 2
+
+    def test_origin_is_zero(self):
+        assert col(0) == 0
+
+    def test_single_bits(self):
+        for i in range(20):
+            assert col(1 << i) == i + 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            col(-1)
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    def test_lemma2_distributivity(self, b, c):
+        assert col(b) ^ col(c) == col(b ^ c)
+
+    @given(st.integers(1, 16), st.data())
+    def test_lemma3_direct_neighbors(self, dimension, data):
+        bucket = data.draw(st.integers(0, (1 << dimension) - 1))
+        for other in direct_neighbors(bucket, dimension):
+            assert col(other) != col(bucket)
+
+    @given(st.integers(2, 16), st.data())
+    def test_lemma4_indirect_neighbors(self, dimension, data):
+        bucket = data.draw(st.integers(0, (1 << dimension) - 1))
+        for other in indirect_neighbors(bucket, dimension):
+            assert col(other) != col(bucket)
+
+    def test_lemma5_near_optimal_exhaustive(self):
+        for dimension in range(1, 11):
+            assert is_near_optimal(col, dimension)
+
+    def test_lemma6_exact_color_set(self):
+        for dimension in range(1, 13):
+            colors = {col(b) for b in range(1 << dimension)}
+            assert colors == set(range(colors_required(dimension)))
+
+    def test_color_staircase(self):
+        expected = {1: 2, 2: 4, 3: 4, 4: 8, 7: 8, 8: 16, 15: 16, 16: 32,
+                    31: 32, 32: 64}
+        for dimension, colors in expected.items():
+            assert colors_required(dimension) == colors
+
+    def test_bounds(self):
+        for dimension in range(1, 64):
+            required = colors_required(dimension)
+            assert color_lower_bound(dimension) <= required
+            assert required <= color_upper_bound(dimension)
+
+
+class TestColArray:
+    @given(st.integers(1, 20), st.integers(0, 500))
+    def test_matches_scalar(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        buckets = rng.integers(0, 1 << dimension, 64)
+        vectorized = col_array(buckets, dimension)
+        assert vectorized.tolist() == [col(int(b)) for b in buckets]
+
+    def test_empty(self):
+        assert col_array(np.array([], dtype=np.int64), 5).size == 0
+
+
+class TestNearOptimalDeclusterer:
+    def test_default_disks_equals_colors(self):
+        for dimension in (1, 3, 5, 8, 15):
+            declusterer = NearOptimalDeclusterer(dimension)
+            assert declusterer.num_disks == colors_required(dimension)
+            assert declusterer.is_near_optimal
+
+    def test_near_optimality_definition4(self):
+        for dimension in range(1, 9):
+            declusterer = NearOptimalDeclusterer(dimension)
+            assert is_near_optimal(declusterer.disk_for_bucket, dimension)
+
+    def test_too_many_disks_rejected(self):
+        with pytest.raises(ValueError):
+            NearOptimalDeclusterer(3, num_disks=5)
+
+    def test_reduced_disks_range(self, rng):
+        points = rng.random((500, 6))
+        for num_disks in (1, 2, 3, 5, 7):
+            declusterer = NearOptimalDeclusterer(6, num_disks)
+            assignment = declusterer.assign(points)
+            assert assignment.min() >= 0
+            assert assignment.max() < num_disks
+            assert not declusterer.is_near_optimal or num_disks == 8
+
+    def test_reduced_disks_all_used(self, rng):
+        points = rng.random((4000, 6))
+        for num_disks in (3, 5, 6, 8):
+            declusterer = NearOptimalDeclusterer(6, num_disks)
+            assignment = declusterer.assign(points)
+            assert set(np.unique(assignment)) == set(range(num_disks))
+
+    def test_assign_matches_disk_for_bucket(self, rng):
+        points = rng.random((300, 7))
+        declusterer = NearOptimalDeclusterer(7, 6)
+        assignment = declusterer.assign(points)
+        buckets = declusterer.bucket_of(points)
+        for bucket, disk in zip(buckets, assignment):
+            assert declusterer.disk_for_bucket(int(bucket)) == disk
+
+    def test_uniform_data_balances(self, rng):
+        points = rng.random((20000, 8))
+        declusterer = NearOptimalDeclusterer(8, 16)
+        assignment = declusterer.assign(points)
+        assert load_imbalance(assignment, 16) < 1.3
+
+    def test_color_permutation(self):
+        dimension = 4
+        identity = NearOptimalDeclusterer(dimension)
+        num_colors = identity.num_colors
+        permutation = list(reversed(range(num_colors)))
+        permuted = NearOptimalDeclusterer(
+            dimension, color_permutation=permutation
+        )
+        for bucket in range(1 << dimension):
+            expected = permutation[identity.disk_for_bucket(bucket)]
+            assert permuted.disk_for_bucket(bucket) == expected
+        # A permutation preserves near-optimality.
+        assert is_near_optimal(permuted.disk_for_bucket, dimension)
+
+    def test_invalid_permutation(self):
+        with pytest.raises(ValueError):
+            NearOptimalDeclusterer(3, color_permutation=[0, 1, 2, 2])
+
+    def test_quantile_splits_respected(self, rng):
+        points = rng.random((1000, 4)) * 0.4  # data in [0, 0.4]^4
+        midpoint = NearOptimalDeclusterer(4)
+        quantile = NearOptimalDeclusterer(
+            4, split_values=np.full(4, 0.2)
+        )
+        # Midpoint split puts everything in bucket 0 -> one disk.
+        assert np.unique(midpoint.assign(points)).size == 1
+        # Quantile split spreads over many disks.
+        assert np.unique(quantile.assign(points)).size >= 4
+
+    def test_neighbor_separation_with_any_direct_pair(self):
+        """For any d and any two direct-neighbor buckets, full-color
+        declustering separates them."""
+        for dimension in (2, 5, 9, 12):
+            declusterer = NearOptimalDeclusterer(dimension)
+            bucket = 0b101 % (1 << dimension)
+            for other in all_neighbors(bucket, dimension):
+                assert declusterer.disk_for_bucket(
+                    other
+                ) != declusterer.disk_for_bucket(bucket)
+
+
+class TestReducedNeighborSeparation:
+    """Section 4.3: after complement folding, *most* direct neighbors stay
+    separated; the guarantee degrades gracefully."""
+
+    @settings(deadline=None)
+    @given(st.sampled_from([4, 6, 8]), st.integers(0, 100))
+    def test_half_colors_keeps_most_direct_separation(self, dimension, seed):
+        full = colors_required(dimension)
+        declusterer = NearOptimalDeclusterer(dimension, full // 2)
+        rng = np.random.default_rng(seed)
+        bucket = int(rng.integers(0, 1 << dimension))
+        collisions = sum(
+            declusterer.disk_for_bucket(other)
+            == declusterer.disk_for_bucket(bucket)
+            for other in direct_neighbors(bucket, dimension)
+        )
+        # At most one direct neighbor may collide after one folding step.
+        assert collisions <= 1

@@ -1,0 +1,89 @@
+"""Tests for the X-tree extensions: supernodes and overlap-minimal
+splits."""
+
+import numpy as np
+import pytest
+
+from repro.index.knn import knn_best_first, knn_linear_scan
+from repro.index.xtree import XTree
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            XTree(3, max_overlap=1.5)
+        with pytest.raises(ValueError):
+            XTree(3, max_blocks=0)
+
+    def test_inherits_rstar_behavior(self, rng):
+        tree = XTree(4, leaf_cap=8, dir_cap=8)
+        points = rng.random((200, 4))
+        tree.extend(points)
+        tree.check_invariants()
+        for oid, point in enumerate(points):
+            assert oid in {h.oid for h in tree.point_query(point)}
+
+
+class TestSupernodes:
+    def test_high_dimensional_insertion_creates_supernodes(self, rng):
+        # In high dimensions with strict overlap limits, directory splits
+        # fail and supernodes appear.
+        tree = XTree(
+            16, leaf_cap=8, dir_cap=8, max_overlap=0.0, max_blocks=64
+        )
+        tree.extend(rng.random((600, 16)))
+        assert tree.supernode_count() > 0
+        tree.check_invariants()
+
+    def test_low_dimensional_insertion_avoids_supernodes(self, rng):
+        tree = XTree(2, leaf_cap=8, dir_cap=8)
+        tree.extend(rng.random((600, 2)))
+        assert tree.supernode_count() == 0
+        tree.check_invariants()
+
+    def test_supernode_correctness(self, rng):
+        """kNN on a supernode-heavy tree still matches the oracle."""
+        points = rng.random((400, 12))
+        tree = XTree(12, leaf_cap=8, dir_cap=8, max_overlap=0.0)
+        tree.extend(points)
+        for query in rng.random((10, 12)):
+            result, _ = knn_best_first(tree, query, 5)
+            oracle = knn_linear_scan(points, query, 5)
+            assert result[-1].distance == pytest.approx(oracle[-1].distance)
+
+    def test_supernode_pages_charged(self, rng):
+        tree = XTree(12, leaf_cap=8, dir_cap=8, max_overlap=0.0)
+        tree.extend(rng.random((400, 12)))
+        assert tree.num_pages() > sum(
+            1 for _ in _iter_nodes(tree.root)
+        ) - tree.supernode_count()
+
+    def test_max_blocks_fallback_splits(self, rng):
+        """With max_blocks=1, overflow always falls back to a split."""
+        tree = XTree(10, leaf_cap=8, dir_cap=8, max_overlap=0.0, max_blocks=1)
+        tree.extend(rng.random((300, 10)))
+        assert tree.supernode_count() == 0
+        tree.check_invariants()
+
+
+class TestSplitHistory:
+    def test_split_history_recorded(self, rng):
+        tree = XTree(4, leaf_cap=6, dir_cap=6)
+        tree.extend(rng.random((200, 4)))
+        histories = [
+            node.split_history
+            for node in _iter_nodes(tree.root)
+            if node.split_history
+        ]
+        assert histories, "splits should record their axis"
+        for history in histories:
+            assert all(0 <= axis < 4 for axis in history)
+
+
+def _iter_nodes(root):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.extend(node.entries)
