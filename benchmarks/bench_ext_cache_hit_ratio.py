@@ -1,0 +1,47 @@
+"""Extension: LRU buffer-pool hit ratio under a hot-spot query workload.
+
+Sweeps cache size x query locality and checks the acceptance criteria of
+the cache layer: a warm cache serves the majority of a repeated-query
+workload from RAM (hit ratio > 0.5) and shrinks the busiest-disk time,
+while capacity 0 reproduces the cold page counts exactly.
+"""
+
+import numpy as np
+
+from repro.experiments.extensions import run_ext_cache_hit_ratio
+
+
+def test_ext_cache_hit_ratio(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_ext_cache_hit_ratio, kwargs={"scale": 0.4}, rounds=1,
+        iterations=1,
+    )
+    record_table(table, "ext_cache_hit_ratio")
+    rows = {row[0]: row for row in table.rows}
+    cold = rows[0]
+    warmest = rows[max(rows)]
+    # Cold baseline: a capacity-0 pool never hits.
+    assert cold[1] == 0.0
+    # Warm cache: most of the repeated workload is served from RAM ...
+    assert warmest[1] > 0.5
+    # ... and the busiest disk reads fewer pages (effective speedup > 1).
+    assert warmest[3] < cold[3]
+    assert warmest[4] > 1.0
+
+
+def test_cold_cache_matches_uncached_counts():
+    """--cache-pages 0 must not perturb the paper's measurement."""
+    from repro.core import NearOptimalDeclusterer
+    from repro.parallel.paged import PagedEngine, PagedStore
+
+    rng = np.random.default_rng(7)
+    points = rng.random((2000, 8))
+    store = PagedStore(
+        points=points, declusterer=NearOptimalDeclusterer(8, 8)
+    )
+    uncached = PagedEngine(store)
+    zero = PagedEngine(store, cache=0)
+    for query in rng.random((5, 8)):
+        a = uncached.query(query, 10)
+        b = zero.query(query, 10)
+        assert np.array_equal(a.pages_per_disk, b.pages_per_disk)

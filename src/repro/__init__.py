@@ -55,6 +55,10 @@ from repro.index import (
     knn_linear_scan,
 )
 from repro.parallel import (
+    BufferPool,
+    CacheConfig,
+    CacheStats,
+    LRUCache,
     DeclusteredStore,
     ThroughputSimulator,
     ManagedStore,
@@ -78,6 +82,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveSplitTracker",
     "BucketDeclusterer",
+    "BufferPool",
+    "CacheConfig",
+    "CacheStats",
+    "LRUCache",
     "Declusterer",
     "DeclusteredStore",
     "ManagedStore",

@@ -12,6 +12,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import pathlib
 import sys
 from typing import Callable, Dict, Optional, Sequence
@@ -39,6 +40,7 @@ from repro.experiments import (
     run_fig17_text_data,
 )
 from repro.experiments.extensions import (
+    run_ext_cache_hit_ratio,
     run_ext_dynamic_reorganization,
     run_ext_graph_based_nn,
     run_ext_range_queries_2d,
@@ -93,6 +95,7 @@ ABLATIONS: Dict[str, Callable] = {
     "page_round_robin": run_ablation_page_round_robin,
     "engine_modes": run_ablation_engine_modes,
     "throughput": run_ext_throughput,
+    "cache_hit_ratio": run_ext_cache_hit_ratio,
     "partial_match": run_ext_partial_match,
     "optimal_coloring": run_ext_optimal_coloring,
     "dynamic_reorganization": run_ext_dynamic_reorganization,
@@ -131,12 +134,19 @@ def _run_group(
               file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
+    cache_pages = getattr(args, "cache_pages", None)
     for name in targets:
         runner = registry[name]
         if name in unscaled:
             table = runner()
         else:
-            table = runner(scale=args.scale, seed=args.seed)
+            kwargs = dict(scale=args.scale, seed=args.seed)
+            if (
+                cache_pages is not None
+                and "cache_pages" in inspect.signature(runner).parameters
+            ):
+                kwargs["cache_pages"] = cache_pages
+            table = runner(**kwargs)
         _emit(table, args.out, name)
     return 0
 
@@ -156,6 +166,15 @@ def _cmd_info(_: argparse.Namespace) -> int:
             f"{directory_capacity(dimension):>7}"
         )
     return 0
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative page count, got {parsed}"
+        )
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale factor (default 0.5)")
         p.add_argument("--seed", type=int, default=0,
                        help="random seed (default 0)")
+        p.add_argument("--cache-pages", type=_nonnegative_int, default=None,
+                       dest="cache_pages",
+                       help="LRU buffer-pool capacity in pages for "
+                       "cache-aware experiments (0 = cold cache; "
+                       "default: experiment-specific sweep)")
         p.add_argument("--out", default=None,
                        help="directory to write result tables to")
 

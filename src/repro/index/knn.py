@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,6 +127,7 @@ def knn_best_first(
     query: Sequence[float],
     k: int = 1,
     metric: Optional[Metric] = None,
+    on_node: Optional[Callable[[Node], None]] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """HS 95 incremental best-first kNN.
 
@@ -136,7 +137,10 @@ def knn_best_first(
     intersects the kNN sphere (page-optimal for the given tree).
 
     ``metric`` selects the distance (default Euclidean); see
-    :mod:`repro.index.metrics`.
+    :mod:`repro.index.metrics`.  ``on_node`` is invoked for every visited
+    node in traversal order — callers that need the page-level access
+    trace (e.g. a buffer pool) hook in here instead of re-deriving it from
+    the aggregate :class:`SearchStats`.
     """
     metric = metric or _EUCLIDEAN
     query = np.asarray(query, dtype=float)
@@ -151,6 +155,8 @@ def knn_best_first(
         if mindist > candidates.bound:
             break
         stats.record(node)
+        if on_node is not None:
+            on_node(node)
         if node.is_leaf:
             if node.entries:
                 keys, entries = _leaf_distances(node, query, stats, metric)

@@ -1,6 +1,12 @@
 """Parallel I/O substrate: disk simulator, declustered store, query
 engine."""
 
+from repro.parallel.cache import (
+    BufferPool,
+    CacheConfig,
+    CacheStats,
+    LRUCache,
+)
 from repro.parallel.disks import DiskArray, DiskParameters
 from repro.parallel.engine import (
     ParallelEngine,
@@ -30,6 +36,10 @@ from repro.parallel.window import (
 )
 
 __all__ = [
+    "BufferPool",
+    "CacheConfig",
+    "CacheStats",
+    "LRUCache",
     "DeclusteredStore",
     "EventDrivenSimulator",
     "EventSimReport",

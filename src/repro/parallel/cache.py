@@ -1,0 +1,285 @@
+"""LRU buffer pool: hot pages are served from RAM, misses hit the disks.
+
+Every engine in this package charges page reads to a
+:class:`~repro.parallel.disks.DiskArray`.  The paper's experiments are
+cold-cache by construction (a single query against a freshly loaded index),
+but a service answering a *stream* of queries keeps its hot directory and
+data pages in a buffer pool, and only cache **misses** cost a disk access.
+This module provides that layer:
+
+* :class:`CacheConfig` — declarative cache description (capacity in pages
+  or bytes, shared or per-disk policy) that stores and persistence can
+  carry around;
+* :class:`LRUCache` — a weighted least-recently-used cache over opaque
+  page keys (supernodes weigh ``blocks`` pages);
+* :class:`BufferPool` — ``num_disks`` front-ends over one shared or
+  ``num_disks`` private LRUs, with per-disk hit/miss accounting;
+* :class:`CacheStats` — counters exposed on the engine result dataclasses.
+
+A capacity of ``0`` disables caching: every access is a miss and the
+engines reproduce today's cold page counts bit-for-bit, which the oracle
+tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "LRUCache",
+    "BufferPool",
+    "as_buffer_pool",
+]
+
+_POLICIES = ("shared", "per_disk")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Declarative buffer-pool description.
+
+    ``capacity_pages`` is the pool size in pages; ``capacity_bytes``, when
+    given, overrides it (converted with the store's page size).  With
+    ``policy="shared"`` all disks share one pool of that capacity; with
+    ``"per_disk"`` every disk gets a private pool of that capacity.
+    """
+
+    capacity_pages: int = 0
+    capacity_bytes: Optional[int] = None
+    policy: str = "shared"
+
+    def __post_init__(self):
+        if self.capacity_pages < 0:
+            raise ValueError(
+                f"capacity_pages must be >= 0, got {self.capacity_pages}"
+            )
+        if self.capacity_bytes is not None and self.capacity_bytes < 0:
+            raise ValueError(
+                f"capacity_bytes must be >= 0, got {self.capacity_bytes}"
+            )
+        if self.policy not in _POLICIES:
+            raise ValueError(
+                f"policy must be one of {_POLICIES}, got {self.policy!r}"
+            )
+
+    def resolve_pages(self, page_bytes: int) -> int:
+        """Pool capacity in pages for the given page size."""
+        if self.capacity_bytes is not None:
+            return self.capacity_bytes // page_bytes
+        return self.capacity_pages
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`BufferPool`.
+
+    Attached to the query-result dataclasses (``None`` when no cache is
+    configured); ``hits``/``misses`` count page *requests*, so a supernode
+    access counts once regardless of its block width.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    hits_per_disk: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    misses_per_disk: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over accesses (0.0 on an untouched pool)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Weighted least-recently-used cache over hashable page keys.
+
+    Entries carry a weight in pages (supernodes weigh ``blocks``); the
+    total resident weight never exceeds ``capacity_pages``.  An entry
+    heavier than the whole cache bypasses it (counted as a miss, nothing
+    evicted).  ``capacity_pages == 0`` disables the cache entirely.
+    """
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 0:
+            raise ValueError(
+                f"capacity_pages must be >= 0, got {capacity_pages}"
+            )
+        self.capacity_pages = int(capacity_pages)
+        self._entries: "OrderedDict[Hashable, int]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def used_pages(self) -> int:
+        """Resident weight in pages."""
+        return self._used
+
+    def keys(self):
+        """Resident keys in LRU-to-MRU order."""
+        return list(self._entries)
+
+    def access(self, key: Hashable, weight: int = 1) -> bool:
+        """Touch ``key``; returns True on a hit, inserts on a miss."""
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if weight > self.capacity_pages:
+            return False
+        self._entries[key] = weight
+        self._used += weight
+        while self._used > self.capacity_pages:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted
+            self.evictions += 1
+        return False
+
+    def reset(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._entries.clear()
+        self._used = 0
+        self.hits = self.misses = self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache(capacity_pages={self.capacity_pages}, "
+            f"used={self._used}, entries={len(self._entries)})"
+        )
+
+
+class BufferPool:
+    """Per-disk page-cache front of a simulated disk array.
+
+    With the ``"shared"`` policy all disks draw from one LRU of
+    ``capacity`` pages (keys are namespaced by disk, so the same tree node
+    stored on two disks would occupy two slots); with ``"per_disk"`` each
+    disk owns a private LRU of ``capacity`` pages.
+    """
+
+    def __init__(
+        self,
+        num_disks: int,
+        config: CacheConfig,
+        page_bytes: int = 4096,
+    ):
+        if num_disks < 1:
+            raise ValueError(f"num_disks must be >= 1, got {num_disks}")
+        self.num_disks = num_disks
+        self.config = config
+        self.capacity_pages = config.resolve_pages(page_bytes)
+        if config.policy == "per_disk":
+            self._caches = [
+                LRUCache(self.capacity_pages) for _ in range(num_disks)
+            ]
+        else:
+            shared = LRUCache(self.capacity_pages)
+            self._caches = [shared] * num_disks
+        self._hits_per_disk = np.zeros(num_disks, dtype=np.int64)
+        self._misses_per_disk = np.zeros(num_disks, dtype=np.int64)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_pages > 0
+
+    def access(self, disk: int, key: Hashable, pages: int = 1) -> bool:
+        """Request a page; True means served from RAM (no disk charge)."""
+        if not 0 <= disk < self.num_disks:
+            raise ValueError(f"disk {disk} outside [0, {self.num_disks})")
+        hit = self._caches[disk].access((disk, key), pages)
+        if hit:
+            self._hits_per_disk[disk] += 1
+        else:
+            self._misses_per_disk[disk] += 1
+        return hit
+
+    def _distinct_caches(self):
+        seen = {}
+        for cache in self._caches:
+            seen[id(cache)] = cache
+        return seen.values()
+
+    @property
+    def evictions(self) -> int:
+        return sum(cache.evictions for cache in self._distinct_caches())
+
+    def stats(self) -> CacheStats:
+        """Cumulative counters since construction (or the last reset)."""
+        return CacheStats(
+            hits=int(self._hits_per_disk.sum()),
+            misses=int(self._misses_per_disk.sum()),
+            evictions=self.evictions,
+            hits_per_disk=self._hits_per_disk.copy(),
+            misses_per_disk=self._misses_per_disk.copy(),
+        )
+
+    def delta_since(self, before: CacheStats) -> CacheStats:
+        """Counters accumulated after a previous :meth:`stats` snapshot."""
+        now = self.stats()
+        return CacheStats(
+            hits=now.hits - before.hits,
+            misses=now.misses - before.misses,
+            evictions=now.evictions - before.evictions,
+            hits_per_disk=now.hits_per_disk - before.hits_per_disk,
+            misses_per_disk=now.misses_per_disk - before.misses_per_disk,
+        )
+
+    def reset(self) -> None:
+        """Cold-start the pool: drop contents, zero every counter."""
+        for cache in self._distinct_caches():
+            cache.reset()
+        self._hits_per_disk[:] = 0
+        self._misses_per_disk[:] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferPool(num_disks={self.num_disks}, "
+            f"capacity_pages={self.capacity_pages}, "
+            f"policy={self.config.policy!r})"
+        )
+
+
+def as_buffer_pool(
+    cache: Union[None, int, CacheConfig, BufferPool],
+    num_disks: int,
+    page_bytes: int,
+) -> Optional[BufferPool]:
+    """Normalize the engines' ``cache`` argument.
+
+    Accepts ``None`` (no pool at all), a page count, a
+    :class:`CacheConfig`, or a prebuilt :class:`BufferPool` (shared across
+    engines).  An explicit capacity of 0 builds a disabled pool, which
+    still counts misses but never serves a hit.
+    """
+    if cache is None or isinstance(cache, BufferPool):
+        return cache
+    if isinstance(cache, CacheConfig):
+        return BufferPool(num_disks, cache, page_bytes)
+    return BufferPool(
+        num_disks, CacheConfig(capacity_pages=int(cache)), page_bytes
+    )

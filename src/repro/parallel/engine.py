@@ -21,6 +21,12 @@ Two execution modes:
 
 :class:`SequentialEngine` provides the single-disk baseline used for
 speed-up numbers.
+
+Both engines accept a ``cache`` (page count, :class:`CacheConfig`, or a
+prebuilt :class:`BufferPool`): hot pages are then served from the pool —
+which persists across queries — and only misses are charged to the disks.
+With no cache (or capacity 0) the cold page counts of the paper's
+measurement are reproduced exactly.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Type
+from typing import List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -43,6 +49,12 @@ from repro.index.node import DEFAULT_PAGE_BYTES, Node
 from repro.index.rstar import RStarTree
 from repro.index.xtree import XTree
 from repro.index.bulk import bulk_load
+from repro.parallel.cache import (
+    BufferPool,
+    CacheConfig,
+    CacheStats,
+    as_buffer_pool,
+)
 from repro.parallel.disks import DiskArray, DiskParameters
 from repro.parallel.store import DeclusteredStore
 
@@ -53,15 +65,24 @@ __all__ = [
     "SequentialEngine",
 ]
 
+#: What the engines accept as their ``cache`` argument.
+CacheSpec = Union[None, int, CacheConfig, BufferPool]
+
 
 @dataclass
 class ParallelQueryResult:
-    """Outcome of one parallel kNN query."""
+    """Outcome of one parallel kNN query.
+
+    ``pages_per_disk`` counts disk reads — with a buffer pool attached,
+    cache hits are excluded and ``cache_stats`` carries the per-query
+    hit/miss counters (None when the engine has no cache).
+    """
 
     neighbors: List[Neighbor]
     pages_per_disk: np.ndarray
     parallel_time_ms: float
     distance_computations: int = 0
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def max_pages(self) -> int:
@@ -81,6 +102,7 @@ class SequentialQueryResult:
     stats: SearchStats
     time_ms: float
     pages: int = 0
+    cache_stats: Optional[CacheStats] = None
 
 
 class ParallelEngine:
@@ -90,6 +112,10 @@ class ParallelEngine:
     the disks, modeling the paper's setting where each workstation caches
     the small directory in main memory; set it to True to charge every
     node access.
+
+    ``cache`` attaches a buffer pool (see :mod:`repro.parallel.cache`)
+    that persists across queries on this engine; use
+    :meth:`reset_cache` to cold-start it.
     """
 
     def __init__(
@@ -97,12 +123,33 @@ class ParallelEngine:
         store: DeclusteredStore,
         parameters: Optional[DiskParameters] = None,
         count_directory: bool = False,
+        cache: CacheSpec = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
             page_bytes=store.page_bytes
         )
         self.count_directory = count_directory
+        self.cache = as_buffer_pool(
+            cache, store.num_disks, store.page_bytes
+        )
+
+    def reset_cache(self) -> None:
+        """Drop every cached page (next query runs cold)."""
+        if self.cache is not None:
+            self.cache.reset()
+
+    def _fetch(self, disks: DiskArray, disk: int, node: Node,
+               pages: int) -> None:
+        """Serve ``pages`` pages of ``node`` from cache or charge the
+        disk."""
+        if pages == 0:
+            return
+        if self.cache is not None and self.cache.access(
+            disk, id(node), pages
+        ):
+            return
+        disks.charge(disk, pages)
 
     def query(
         self, query: Sequence[float], k: int = 1, mode: str = "coordinated"
@@ -122,6 +169,7 @@ class ParallelEngine:
     ) -> ParallelQueryResult:
         query = np.asarray(query, dtype=float)
         disks = DiskArray(self.store.num_disks, self.parameters)
+        cache_before = self.cache.stats() if self.cache else None
         candidates = _CandidateSet(k)
         stats = SearchStats()
         tiebreak = itertools.count()
@@ -134,7 +182,7 @@ class ParallelEngine:
             if mindist > candidates.bound:
                 break
             if node.is_leaf or self.count_directory:
-                disks.charge(disk, node.blocks)
+                self._fetch(disks, disk, node, node.blocks)
             if node.is_leaf:
                 if node.entries:
                     sq, entries = _leaf_distances(node, query, stats)
@@ -155,27 +203,47 @@ class ParallelEngine:
             pages_per_disk=disks.pages_per_disk,
             parallel_time_ms=disks.parallel_time_ms,
             distance_computations=stats.distance_computations,
+            cache_stats=(
+                self.cache.delta_since(cache_before) if self.cache else None
+            ),
         )
 
     # ----------------------------------------------------- independent
+
+    def _node_pages(self, node: Node) -> int:
+        """Pages this mode's accounting charges for one node visit."""
+        if self.count_directory:
+            return node.blocks
+        return 1 if node.is_leaf else 0
 
     def _query_independent(
         self, query: Sequence[float], k: int
     ) -> ParallelQueryResult:
         query = np.asarray(query, dtype=float)
         disks = DiskArray(self.store.num_disks, self.parameters)
+        cache_before = self.cache.stats() if self.cache else None
         merged = _CandidateSet(k)
         distance_computations = 0
         for disk, tree in enumerate(self.store.trees):
             if not tree.size:
                 continue
-            neighbors, stats = knn_best_first(tree, query, k)
-            pages = (
-                stats.page_accesses
-                if self.count_directory
-                else stats.leaf_accesses
-            )
-            disks.charge(disk, pages)
+            if self.cache is None:
+                neighbors, stats = knn_best_first(tree, query, k)
+                pages = (
+                    stats.page_accesses
+                    if self.count_directory
+                    else stats.leaf_accesses
+                )
+                disks.charge(disk, pages)
+            else:
+                # Per-node trace so each page can be looked up in the
+                # pool; the aggregate equals the uncached charge above.
+                def on_node(node: Node, disk: int = disk) -> None:
+                    self._fetch(disks, disk, node, self._node_pages(node))
+
+                neighbors, stats = knn_best_first(
+                    tree, query, k, on_node=on_node
+                )
             distance_computations += stats.distance_computations
             for neighbor in neighbors:
                 merged.offer(
@@ -186,6 +254,9 @@ class ParallelEngine:
             pages_per_disk=disks.pages_per_disk,
             parallel_time_ms=disks.parallel_time_ms,
             distance_computations=distance_computations,
+            cache_stats=(
+                self.cache.delta_since(cache_before) if self.cache else None
+            ),
         )
 
 
@@ -205,6 +276,7 @@ class SequentialEngine:
         parameters: Optional[DiskParameters] = None,
         tree: Optional[RStarTree] = None,
         count_directory: bool = False,
+        cache: CacheSpec = None,
     ):
         self.parameters = parameters or DiskParameters(page_bytes=page_bytes)
         self.count_directory = count_directory
@@ -214,11 +286,44 @@ class SequentialEngine:
             self.tree = bulk_load(
                 points, oids=oids, tree_cls=tree_cls, page_bytes=page_bytes
             )
+        self.cache = as_buffer_pool(cache, 1, page_bytes)
+
+    def reset_cache(self) -> None:
+        """Drop every cached page (next query runs cold)."""
+        if self.cache is not None:
+            self.cache.reset()
+
+    def _node_pages(self, node: Node) -> int:
+        if self.count_directory:
+            return node.blocks
+        return 1 if node.is_leaf else 0
 
     def query(self, query: Sequence[float], k: int = 1) -> SequentialQueryResult:
-        neighbors, stats = knn_best_first(self.tree, query, k)
-        pages = (
-            stats.page_accesses if self.count_directory else stats.leaf_accesses
-        )
+        if self.cache is None:
+            neighbors, stats = knn_best_first(self.tree, query, k)
+            pages = (
+                stats.page_accesses
+                if self.count_directory
+                else stats.leaf_accesses
+            )
+            cache_stats = None
+        else:
+            cache_before = self.cache.stats()
+            charged = [0]
+
+            def on_node(node: Node) -> None:
+                node_pages = self._node_pages(node)
+                if node_pages and not self.cache.access(
+                    0, id(node), node_pages
+                ):
+                    charged[0] += node_pages
+
+            neighbors, stats = knn_best_first(
+                self.tree, query, k, on_node=on_node
+            )
+            pages = charged[0]
+            cache_stats = self.cache.delta_since(cache_before)
         time_ms = pages * self.parameters.page_service_time_ms
-        return SequentialQueryResult(neighbors, stats, time_ms, pages)
+        return SequentialQueryResult(
+            neighbors, stats, time_ms, pages, cache_stats
+        )

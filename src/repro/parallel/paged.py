@@ -32,8 +32,9 @@ from repro.index.knn import SearchStats, _CandidateSet, _leaf_distances
 from repro.index.node import DEFAULT_PAGE_BYTES, Node
 from repro.index.rstar import RStarTree
 from repro.index.xtree import XTree
+from repro.parallel.cache import CacheConfig, as_buffer_pool
 from repro.parallel.disks import DiskArray, DiskParameters
-from repro.parallel.engine import ParallelQueryResult
+from repro.parallel.engine import CacheSpec, ParallelQueryResult
 
 __all__ = [
     "PagedStore",
@@ -86,6 +87,10 @@ class PagedStore:
         model).
     num_disks:
         Required when ``declusterer`` is a callable.
+    cache_config:
+        Optional default :class:`~repro.parallel.cache.CacheConfig` for
+        engines over this store (persisted by ``save_paged_store``);
+        engines built without an explicit ``cache`` argument inherit it.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class PagedStore:
         tree_cls: type = XTree,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         oids: Optional[Sequence[int]] = None,
+        cache_config: Optional[CacheConfig] = None,
     ):
         if tree is None:
             if points is None:
@@ -106,6 +112,7 @@ class PagedStore:
             )
         self.tree = tree
         self.page_bytes = page_bytes
+        self.cache_config = cache_config
         self.declusterer = declusterer
         if isinstance(declusterer, Declusterer):
             self.num_disks = declusterer.num_disks
@@ -170,17 +177,32 @@ class PagedStore:
 
 
 class PagedEngine:
-    """Parallel kNN over a :class:`PagedStore` (shared directory model)."""
+    """Parallel kNN over a :class:`PagedStore` (shared directory model).
+
+    ``cache`` attaches a buffer pool for the data pages (the directory is
+    already RAM-resident in this model); when omitted, the store's
+    ``cache_config`` — if any — is used.  The pool persists across
+    queries, so a repeated query under a warm cache charges no disk reads.
+    """
 
     def __init__(
         self,
         store: PagedStore,
         parameters: Optional[DiskParameters] = None,
+        cache: CacheSpec = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
             page_bytes=store.page_bytes
         )
+        if cache is None:
+            cache = store.cache_config
+        self.cache = as_buffer_pool(cache, store.num_disks, store.page_bytes)
+
+    def reset_cache(self) -> None:
+        """Drop every cached page (next query runs cold)."""
+        if self.cache is not None:
+            self.cache.reset()
 
     def query_batch(
         self, queries: np.ndarray, k: int = 1
@@ -191,12 +213,17 @@ class PagedEngine:
     def query(self, query: Sequence[float], k: int = 1) -> ParallelQueryResult:
         query = np.asarray(query, dtype=float)
         disks = DiskArray(self.store.num_disks, self.parameters)
+        cache_before = self.cache.stats() if self.cache else None
         candidates = _CandidateSet(k)
         stats = SearchStats()
         tree = self.store.tree
         if tree.size == 0:
             return ParallelQueryResult(
-                [], disks.pages_per_disk, 0.0, 0
+                [], disks.pages_per_disk, 0.0, 0,
+                cache_stats=(
+                    self.cache.delta_since(cache_before)
+                    if self.cache else None
+                ),
             )
         tiebreak = itertools.count()
         queue: List[Tuple[float, int, Node]] = [
@@ -207,8 +234,13 @@ class PagedEngine:
             if mindist > candidates.bound:
                 break
             if node.is_leaf:
-                # Data page: fetched from its disk.
-                disks.charge(self.store.disk_of(node), node.blocks)
+                # Data page: served from the pool if hot, else fetched
+                # from its disk.
+                disk = self.store.disk_of(node)
+                if self.cache is None or not self.cache.access(
+                    disk, id(node), node.blocks
+                ):
+                    disks.charge(disk, node.blocks)
                 if node.entries:
                     sq, entries = _leaf_distances(node, query, stats)
                     for distance, entry in zip(sq, entries):
@@ -228,4 +260,7 @@ class PagedEngine:
             pages_per_disk=disks.pages_per_disk,
             parallel_time_ms=disks.parallel_time_ms,
             distance_computations=stats.distance_computations,
+            cache_stats=(
+                self.cache.delta_since(cache_before) if self.cache else None
+            ),
         )

@@ -25,7 +25,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.parallel.cache import CacheStats
 from repro.parallel.disks import DiskParameters
+from repro.parallel.engine import CacheSpec
 from repro.parallel.paged import PagedEngine, PagedStore
 
 __all__ = ["ThroughputReport", "ThroughputSimulator"]
@@ -33,13 +35,19 @@ __all__ = ["ThroughputReport", "ThroughputSimulator"]
 
 @dataclass
 class ThroughputReport:
-    """Aggregate results of one throughput run."""
+    """Aggregate results of one throughput run.
+
+    With a buffer pool attached, ``pages_per_disk`` counts only cache
+    misses (hot pages are served from RAM) and ``cache_stats`` holds the
+    hit/miss counters accumulated over the whole run.
+    """
 
     num_queries: int
     makespan_ms: float
     mean_latency_ms: float
     pages_per_disk: np.ndarray
     page_service_time_ms: float
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -78,18 +86,31 @@ class ThroughputSimulator:
         self,
         store: PagedStore,
         parameters: Optional[DiskParameters] = None,
+        cache: CacheSpec = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
             page_bytes=store.page_bytes
         )
-        self._engine = PagedEngine(store, self.parameters)
+        self._engine = PagedEngine(store, self.parameters, cache=cache)
+
+    @property
+    def cache(self):
+        """The engine's buffer pool (None when caching is off)."""
+        return self._engine.cache
 
     def run(self, queries: np.ndarray, k: int = 10) -> ThroughputReport:
-        """Simulate the concurrent execution of ``queries``."""
+        """Simulate the concurrent execution of ``queries``.
+
+        The buffer pool (if any) persists across the batch: later queries
+        hit the pages earlier queries pulled in, so only misses queue up
+        at the disks.
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
         t_page = self.parameters.page_service_time_ms
         num_disks = self.store.num_disks
+        cache = self._engine.cache
+        cache_before = cache.stats() if cache else None
         per_query_pages: List[np.ndarray] = []
         for query in queries:
             result = self._engine.query(query, k)
@@ -115,4 +136,7 @@ class ThroughputSimulator:
             mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
             pages_per_disk=totals,
             page_service_time_ms=t_page,
+            cache_stats=(
+                cache.delta_since(cache_before) if cache else None
+            ),
         )

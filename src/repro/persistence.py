@@ -26,6 +26,7 @@ import numpy as np
 from repro.index.node import LeafEntry, Node
 from repro.index.rstar import RStarTree
 from repro.index.xtree import XTree
+from repro.parallel.cache import CacheConfig
 from repro.parallel.paged import PagedStore
 
 __all__ = [
@@ -204,10 +205,16 @@ class FrozenAssignment:
 def save_paged_store(
     store: PagedStore, path: Union[str, os.PathLike]
 ) -> None:
-    """Serialize a PagedStore (tree + page-to-disk map)."""
+    """Serialize a PagedStore (tree + page-to-disk map + cache config)."""
     arrays = _flatten(store.tree)
     header = _tree_header(store.tree)
     header["num_disks"] = store.num_disks
+    if store.cache_config is not None:
+        header["cache"] = {
+            "capacity_pages": store.cache_config.capacity_pages,
+            "capacity_bytes": store.cache_config.capacity_bytes,
+            "policy": store.cache_config.policy,
+        }
     arrays["header"] = np.array(json.dumps(header))
     arrays["page_disks"] = np.asarray(store.page_disks, dtype=np.int64)
     np.savez_compressed(path, **arrays)
@@ -225,9 +232,17 @@ def load_paged_store(path: Union[str, os.PathLike]) -> PagedStore:
         tree = _rebuild_tree(data)
         header = json.loads(str(data["header"]))
         page_disks = data["page_disks"]
+        cache_config = None
+        if "cache" in header:
+            cache_config = CacheConfig(
+                capacity_pages=header["cache"]["capacity_pages"],
+                capacity_bytes=header["cache"]["capacity_bytes"],
+                policy=header["cache"]["policy"],
+            )
         return PagedStore(
             tree=tree,
             declusterer=FrozenAssignment(page_disks),
             num_disks=int(header["num_disks"]),
             page_bytes=header["page_bytes"],
+            cache_config=cache_config,
         )

@@ -17,7 +17,8 @@ class TestParser:
 
     def test_registries_populated(self):
         assert len(FIGURES) == 14
-        assert len(ABLATIONS) == 15
+        assert len(ABLATIONS) == 16
+        assert "cache_hit_ratio" in ABLATIONS
 
 
 class TestCommands:

@@ -106,3 +106,32 @@ class TestEventDrivenSimulator:
             engine.query(q, 5).pages_per_disk for q in queries
         )
         assert np.array_equal(report.pages_per_disk, expected)
+
+
+class TestEventSimWithCache:
+    def test_no_cache_report_has_no_stats(self, simulator, rng):
+        report = simulator.run(
+            poisson_arrivals(rng.random((4, 8)), 5.0, seed=6, k=5)
+        )
+        assert report.cache_stats is None
+
+    def test_capacity_zero_matches_uncached(self, store, rng):
+        arrivals = poisson_arrivals(rng.random((6, 8)), 5.0, seed=7, k=5)
+        cold = EventDrivenSimulator(store).run(arrivals)
+        zero = EventDrivenSimulator(store, cache=0).run(arrivals)
+        assert np.array_equal(cold.pages_per_disk, zero.pages_per_disk)
+        assert np.allclose(cold.latencies_ms, zero.latencies_ms)
+        assert zero.cache_stats.hits == 0
+
+    def test_hot_stream_stays_fast_under_warm_cache(self, store, rng):
+        query = rng.random(8)
+        arrivals = [
+            QueryArrival(float(i) * 10.0, query, 5) for i in range(8)
+        ]
+        cold = EventDrivenSimulator(store).run(arrivals)
+        warm = EventDrivenSimulator(store, cache=4096).run(arrivals)
+        assert warm.pages_per_disk.sum() < cold.pages_per_disk.sum()
+        assert warm.mean_latency_ms < cold.mean_latency_ms
+        assert warm.cache_stats.hit_ratio > 0.5
+        # Repeats after the first arrival are served entirely from RAM.
+        assert warm.latencies_ms[-1] == 0.0

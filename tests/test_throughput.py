@@ -80,3 +80,39 @@ class TestThroughputSimulator:
         assert report.makespan_ms == pytest.approx(
             engine_result.parallel_time_ms
         )
+
+
+class TestThroughputWithCache:
+    def test_no_cache_report_has_no_stats(self, simulator, rng):
+        report = simulator.run(rng.random((3, 8)), k=5)
+        assert report.cache_stats is None
+
+    def test_capacity_zero_matches_uncached(self, medium_uniform, rng):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        queries = rng.random((5, 8))
+        cold = ThroughputSimulator(store).run(queries, k=5)
+        zero = ThroughputSimulator(store, cache=0).run(queries, k=5)
+        assert np.array_equal(cold.pages_per_disk, zero.pages_per_disk)
+        assert zero.makespan_ms == pytest.approx(cold.makespan_ms)
+        assert zero.cache_stats.hits == 0
+
+    def test_repeated_stream_charges_misses_only(self, medium_uniform,
+                                                 rng):
+        store = PagedStore(
+            points=medium_uniform, declusterer=NearOptimalDeclusterer(8, 8)
+        )
+        query = rng.random(8)
+        repeated = np.tile(query, (6, 1))
+        cold = ThroughputSimulator(store).run(repeated, k=5)
+        warm = ThroughputSimulator(store, cache=4096).run(repeated, k=5)
+        # Only the first occurrence misses; five repeats hit the pool.
+        single = ThroughputSimulator(store).run(
+            query.reshape(1, -1), k=5
+        )
+        assert np.array_equal(
+            warm.pages_per_disk, single.pages_per_disk
+        )
+        assert warm.makespan_ms < cold.makespan_ms
+        assert warm.cache_stats.hit_ratio > 0.5

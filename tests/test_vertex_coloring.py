@@ -72,6 +72,25 @@ class TestCol:
         for dimension, colors in expected.items():
             assert colors_required(dimension) == colors
 
+    def test_lemma6_staircase_full_range(self):
+        """Regression: exactly 2^ceil(log2(d+1)) colors for d = 1..64."""
+        import math
+
+        for dimension in range(1, 65):
+            expected = 2 ** math.ceil(math.log2(dimension + 1))
+            assert colors_required(dimension) == expected, dimension
+
+    def test_lemma6_staircase_power_of_two_boundaries(self):
+        """The steps sit at d = 2^m - 1 (top of a tread) and d = 2^m
+        (first dimension needing the next power of two)."""
+        for m in range(1, 7):
+            top = 2 ** m - 1
+            assert colors_required(top) == 2 ** m
+            assert colors_required(top + 1) == 2 ** (m + 1)
+            if top > 1:
+                # Everything on one tread needs the same color count.
+                assert colors_required(top - 1) == colors_required(top)
+
     def test_bounds(self):
         for dimension in range(1, 64):
             required = colors_required(dimension)
