@@ -24,6 +24,8 @@ See ``examples/`` for full scenarios and ``benchmarks/`` for the
 experiments that regenerate the paper's figures.
 """
 
+from __future__ import annotations
+
 from repro.baselines import (
     DiskModuloDeclusterer,
     FXDeclusterer,
@@ -70,6 +72,11 @@ from repro.parallel import (
     SequentialEngine,
 )
 
+from repro.registry import (
+    DECLUSTERERS,
+    available_schemes,
+    make_declusterer,
+)
 from repro.persistence import (
     load_paged_store,
     load_tree,
@@ -81,6 +88,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveSplitTracker",
+    "DECLUSTERERS",
+    "available_schemes",
+    "make_declusterer",
     "BucketDeclusterer",
     "BufferPool",
     "CacheConfig",

@@ -1,5 +1,7 @@
 """Analytical models: [BBKK 97] cost model, quadrant-neighborhood math."""
 
+from __future__ import annotations
+
 from repro.analysis.cost_model import (
     expected_nn_distance,
     expected_pages_touched,

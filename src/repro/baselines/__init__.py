@@ -7,6 +7,8 @@
   [FB 93], the strongest prior technique and the paper's main comparator.
 """
 
+from __future__ import annotations
+
 from repro.baselines.disk_modulo import DiskModuloDeclusterer
 from repro.baselines.fx import FXDeclusterer
 from repro.baselines.hilbert_decluster import HilbertDeclusterer

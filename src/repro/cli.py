@@ -168,6 +168,16 @@ def _cmd_info(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schemes(_: argparse.Namespace) -> int:
+    from repro.registry import DECLUSTERERS
+
+    print(f"{'name':>12}  {'class':<26}  description")
+    for name, cls in DECLUSTERERS.items():
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:>12}  {cls.__name__:<26}  {doc}")
+    return 0
+
+
 def _nonnegative_int(value: str) -> int:
     parsed = int(value)
     if parsed < 0:
@@ -210,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="show library facts (staircase, capacities)")
 
+    sub.add_parser(
+        "schemes",
+        help="list the registered declustering schemes (repro.registry)",
+    )
+
     verify = sub.add_parser(
         "verify", help="check the paper's headline claims (PASS/FAIL)"
     )
@@ -237,6 +252,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_group(ABLATIONS, _NO_SCALE_ABLATIONS, args)
     if args.command == "info":
         return _cmd_info(args)
+    if args.command == "schemes":
+        return _cmd_schemes(args)
     if args.command == "verify":
         from repro.experiments.verify import verify_reproduction
 

@@ -18,6 +18,8 @@ Submodules
     The disk-assignment graph and near-optimality verification.
 """
 
+from __future__ import annotations
+
 from repro.core.adaptive import AdaptiveSplitTracker, quantile_split_values
 from repro.core.bits import (
     bucket_coordinates,

@@ -59,12 +59,16 @@ def col_array(buckets: np.ndarray, dimension: int) -> np.ndarray:
     """Vectorized :func:`col` over an array of bucket numbers.
 
     Equivalent to ``np.array([col(b) for b in buckets])`` but evaluated with
-    numpy bit tricks, one pass per dimension.
+    numpy bit tricks, one pass per dimension (O(d), matching Def. 6).
+
+    Buckets for ``dimension >= 64`` exceed int64; they are processed as
+    uint64, which covers the full d=64 bucket space.
     """
-    buckets = np.asarray(buckets, dtype=np.int64)
-    colors = np.zeros_like(buckets)
+    dtype = np.uint64 if dimension >= 64 else np.int64
+    buckets = np.asarray(buckets, dtype=dtype)
+    colors = np.zeros(buckets.shape, dtype=np.int64)
     for position in range(dimension):
-        bit_set = (buckets >> position) & 1
+        bit_set = ((buckets >> dtype(position)) & dtype(1)).astype(np.int64)
         colors ^= bit_set * (position + 1)
     return colors
 

@@ -1,6 +1,8 @@
 """Workload generators: uniform/clustered synthetics, Fourier contours,
 text descriptors."""
 
+from __future__ import annotations
+
 from repro.data.fourier import (
     contour_radius_samples,
     fourier_points,

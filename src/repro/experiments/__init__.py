@@ -5,6 +5,8 @@ evaluation as a :class:`~repro.experiments.harness.ResultTable`; the
 ``benchmarks/`` directory wraps them in pytest-benchmark entry points.
 """
 
+from __future__ import annotations
+
 from repro.experiments.figures_parallel import (
     run_fig02_round_robin_speedup,
     run_fig03_hilbert_vs_round_robin,

@@ -356,19 +356,19 @@ def run_ext_range_queries_2d(
     def cells_of(centers: np.ndarray) -> np.ndarray:
         return np.clip((centers * side).astype(np.int64), 0, side - 1)
 
-    def hilbert_pages(centers):
+    def hilbert_pages(centers: np.ndarray) -> np.ndarray:
         return np.array([
             curve.index_of(cell) % num_disks for cell in cells_of(centers)
         ])
 
-    def dm_pages(centers):
+    def dm_pages(centers: np.ndarray) -> np.ndarray:
         return cells_of(centers).sum(axis=1) % num_disks
 
-    def fx_pages(centers):
+    def fx_pages(centers: np.ndarray) -> np.ndarray:
         cells = cells_of(centers)
         return (cells[:, 0] ^ cells[:, 1]) % num_disks
 
-    def new_pages(centers):
+    def new_pages(centers: np.ndarray) -> np.ndarray:
         buckets = bucket_numbers_for_points(centers, np.full(dimension, 0.5))
         colors = col_array(buckets, dimension)
         return colors % num_disks
@@ -467,7 +467,7 @@ def run_ext_dynamic_reorganization(
         ["phase", "points", "reorganizations", "store_imbalance"],
     )
 
-    def imbalance():
+    def imbalance() -> float:
         loads = managed.store.disk_loads().astype(float)
         return float(loads.max() / loads.mean()) if loads.mean() else 1.0
 

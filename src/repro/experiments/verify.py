@@ -125,7 +125,15 @@ def verify_reproduction(
         started = time.perf_counter()
         try:
             passed, evidence = checker(scale, seed)
-        except Exception as error:  # a crash is a failed claim
+        except (
+            ArithmeticError,
+            AssertionError,
+            AttributeError,
+            LookupError,
+            TypeError,
+            ValueError,
+            RuntimeError,
+        ) as error:  # a crashed checker is a failed claim, not a lint pass
             passed, evidence = False, f"crashed: {error!r}"
         results.append(
             ClaimResult(claim, passed, evidence,

@@ -1,5 +1,7 @@
 """d-dimensional Hilbert space-filling curve (substrate for [FB 93])."""
 
+from __future__ import annotations
+
 from repro.hilbert.curve import HilbertCurve
 
 __all__ = ["HilbertCurve"]

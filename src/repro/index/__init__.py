@@ -1,5 +1,7 @@
 """High-dimensional index substrate: R\\*-tree, X-tree, kNN, bulk loading."""
 
+from __future__ import annotations
+
 from repro.index.bulk import bulk_load, str_chunks
 from repro.index.grid import GridIndex
 from repro.index.kdtree import KDTree

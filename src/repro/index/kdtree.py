@@ -34,8 +34,10 @@ class _KDNode:
 
     __slots__ = ("axis", "value", "left", "right", "indices")
 
-    def __init__(self, axis=-1, value=0.0, left=None, right=None,
-                 indices=None):
+    def __init__(self, axis: int = -1, value: float = 0.0,
+                 left: Optional[_KDNode] = None,
+                 right: Optional[_KDNode] = None,
+                 indices: Optional[np.ndarray] = None):
         self.axis = axis
         self.value = value
         self.left = left

@@ -59,14 +59,14 @@ class Metric(abc.ABC):
 class Euclidean(Metric):
     """Plain L2; keys are squared distances (the library default)."""
 
-    def point_keys(self, points, query):
+    def point_keys(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
         deltas = points - query
         return np.einsum("ij,ij->i", deltas, deltas)
 
-    def mindist(self, box, query):
+    def mindist(self, box: MBR, query: np.ndarray) -> float:
         return box.mindist(query)
 
-    def key_to_distance(self, key):
+    def key_to_distance(self, key: float) -> float:
         return math.sqrt(key)
 
 
@@ -84,17 +84,17 @@ class WeightedEuclidean(Metric):
         if not (self.weights > 0).any():
             raise ValueError("at least one weight must be positive")
 
-    def point_keys(self, points, query):
+    def point_keys(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
         deltas = points - query
         return np.einsum("ij,j,ij->i", deltas, self.weights, deltas)
 
-    def mindist(self, box, query):
+    def mindist(self, box: MBR, query: np.ndarray) -> float:
         below = box.low - query
         above = query - box.high
         gap = np.maximum(np.maximum(below, above), 0.0)
         return float(self.weights @ (gap * gap))
 
-    def key_to_distance(self, key):
+    def key_to_distance(self, key: float) -> float:
         return math.sqrt(key)
 
 
@@ -110,13 +110,13 @@ class LpMetric(Metric):
     def _is_max(self) -> bool:
         return math.isinf(self.p)
 
-    def point_keys(self, points, query):
+    def point_keys(self, points: np.ndarray, query: np.ndarray) -> np.ndarray:
         deltas = np.abs(points - query)
         if self._is_max:
             return deltas.max(axis=1)
         return (deltas**self.p).sum(axis=1)
 
-    def mindist(self, box, query):
+    def mindist(self, box: MBR, query: np.ndarray) -> float:
         below = box.low - query
         above = query - box.high
         gap = np.maximum(np.maximum(below, above), 0.0)
@@ -124,7 +124,7 @@ class LpMetric(Metric):
             return float(gap.max())
         return float((gap**self.p).sum())
 
-    def key_to_distance(self, key):
+    def key_to_distance(self, key: float) -> float:
         if self._is_max:
             return key
         return key ** (1.0 / self.p)

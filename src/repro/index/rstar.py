@@ -116,7 +116,8 @@ class RStarTree:
         self._insert_entry(LeafEntry(point, oid), level=0)
         self.size += 1
 
-    def extend(self, points: np.ndarray, oids: Optional[Sequence[int]] = None):
+    def extend(self, points: np.ndarray,
+               oids: Optional[Sequence[int]] = None) -> None:
         """Insert many points; oids default to a running counter."""
         points = np.asarray(points, dtype=float)
         if oids is None:
@@ -162,7 +163,8 @@ class RStarTree:
             # Children are leaves: minimize overlap enlargement
             # (ties: area enlargement, then area).  Pairwise overlap of the
             # enlarged candidate against all siblings, vectorized.
-            def pairwise_overlap(c_lows, c_highs):
+            def pairwise_overlap(c_lows: np.ndarray,
+                                 c_highs: np.ndarray) -> np.ndarray:
                 widths = np.minimum(c_highs[:, None, :], highs[None, :, :])
                 widths -= np.maximum(c_lows[:, None, :], lows[None, :, :])
                 return np.clip(widths, 0.0, None).prod(axis=2)

@@ -1,0 +1,36 @@
+"""Repo-specific static analysis: machine-check the paper's invariants.
+
+The reproduction's guarantees rest on code-level conventions — ``col``
+stays O(d) bit-exact in ``core/bits.py``, experiments are seeded, only
+buffer-pool misses are charged to the simulated disks.  This package
+turns those conventions into AST-checked rules::
+
+    python -m repro.lint src tests           # lint, exit 1 on findings
+    python -m repro.lint --list-rules        # what is checked and why
+
+Programmatic use::
+
+    from repro.lint import run_lint
+    findings = run_lint(["src"])             # [] when clean
+
+See ``docs/linting.md`` for the rule catalogue and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import run_lint
+from repro.lint.findings import Finding, render_json, render_text
+from repro.lint.rules import RULES, Rule, rule_names
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "render_json",
+    "render_text",
+    "rule_names",
+    "run_lint",
+]

@@ -1,10 +1,10 @@
-"""``python -m repro`` entry point."""
+"""Entry point for ``python -m repro.lint``."""
 
 from __future__ import annotations
 
 import sys
 
-from repro.cli import main
+from repro.lint.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

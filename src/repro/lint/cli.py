@@ -1,0 +1,60 @@
+"""``python -m repro.lint`` — run the repo invariant checker.
+
+Exit status 0 means every linted file upholds every invariant; 1 means
+findings were reported; 2 means bad usage.  ``--format=json`` emits a
+machine-readable document for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.engine import run_lint
+from repro.lint.findings import render_json, render_text
+from repro.lint.rules import RULES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static checker for this repository's paper-level "
+        "invariants (seeded RNG, core-bits usage, buffer-pool charging, "
+        "float equality, library prints, scheme registry completeness).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name:>26}  {rule.summary}")
+        return 0
+    findings = run_lint(args.paths)
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("0 findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

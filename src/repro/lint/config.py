@@ -1,0 +1,82 @@
+"""Configuration for the repo-specific linter.
+
+Every rule has a *scope* (dotted-module prefixes it applies to) and an
+*exempt* list (prefixes inside the scope that are sanctioned).  The
+defaults encode this repository's layout — e.g. only the buffer-pool
+engine modules may charge a :class:`~repro.parallel.disks.DiskArray` —
+and tests override them to point rules at fixture trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG", "module_matches"]
+
+
+#: ``numpy.random`` attributes that are deterministic-by-construction and
+#: therefore allowed: creating a seeded generator is the sanctioned way in.
+_RNG_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+def module_matches(module: str, prefixes: Tuple[str, ...]) -> bool:
+    """True if ``module`` equals or lives under any dotted ``prefix``."""
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable knobs; all defaults describe the live repository.
+
+    Parameters
+    ----------
+    enabled:
+        Rule names to run; ``None`` runs every registered rule.
+    scopes / exempt:
+        Per-rule overrides of the rule's ``default_scope`` /
+        ``default_exempt`` dotted-module prefixes.
+    rng_allowed:
+        ``numpy.random`` attribute names exempt from ``seeded-rng-only``.
+    registry_module:
+        Dotted name of the module holding the scheme registry that
+        ``registry-completeness`` checks against.
+    scheme_suffix:
+        Class-name suffix identifying a declustering scheme definition.
+    abstract_schemes:
+        Scheme class names that are abstract bases, not registrable.
+    """
+
+    enabled: Optional[FrozenSet[str]] = None
+    scopes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    exempt: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    rng_allowed: FrozenSet[str] = _RNG_ALLOWED
+    registry_module: str = "repro.registry"
+    scheme_suffix: str = "Declusterer"
+    abstract_schemes: Tuple[str, ...] = ("Declusterer", "BucketDeclusterer")
+
+    def scope_for(self, rule_name: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        return tuple(self.scopes.get(rule_name, default))
+
+    def exempt_for(self, rule_name: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        return tuple(self.exempt.get(rule_name, default))
+
+    def rule_enabled(self, rule_name: str) -> bool:
+        return self.enabled is None or rule_name in self.enabled
+
+
+DEFAULT_CONFIG = LintConfig()

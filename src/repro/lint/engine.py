@@ -1,0 +1,105 @@
+"""Lint driver: discover files, run rules, apply suppressions.
+
+:func:`run_lint` is the whole programmatic API — tests and the CLI both
+call it.  Findings come back sorted by path/line; an empty list means
+the tree upholds every invariant.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.rules import RULES, Rule
+
+__all__ = ["run_lint", "discover_files"]
+
+#: Synthetic rule names the engine itself emits.
+SYNTAX_ERROR = "syntax-error"
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build"}
+
+
+def discover_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py" and path.is_file():
+            found.add(path)
+    return sorted(found)
+
+
+def _parse_all(
+    files: Sequence[Path],
+) -> Tuple[List[ModuleInfo], List[Finding]]:
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in files:
+        try:
+            modules.append(ModuleInfo.parse(path))
+        except SyntaxError as error:
+            findings.append(
+                Finding(str(path), error.lineno or 1, SYNTAX_ERROR,
+                        f"cannot parse: {error.msg}")
+            )
+    return modules, findings
+
+
+def _apply_suppressions(
+    modules: Sequence[ModuleInfo], findings: Sequence[Finding]
+) -> List[Finding]:
+    """Drop suppressed findings; flag suppressions that did no work."""
+    by_path = {module.display_path: module for module in modules}
+    kept: List[Finding] = []
+    used: Set[Tuple[str, int]] = set()
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppresses(finding.line, finding.rule):
+            used.add((finding.path, finding.line))
+        else:
+            kept.append(finding)
+    for module in modules:
+        for line, rules in sorted(module.suppressions.items()):
+            if (module.display_path, line) not in used:
+                kept.append(
+                    Finding(
+                        module.display_path, line, UNUSED_SUPPRESSION,
+                        f"suppression disable={','.join(sorted(rules))} "
+                        f"matches no finding; remove it",
+                    )
+                )
+    return kept
+
+
+def run_lint(
+    paths: Iterable[Union[str, Path]],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint ``paths`` (files or directories) under ``config``.
+
+    Returns all surviving findings sorted by location.  Suppression
+    comments (``# repro-lint: disable=<rule>[,rule...]`` or
+    ``disable=all``) silence same-line findings; a suppression that
+    silences nothing is itself reported as ``unused-suppression``.
+    """
+    files = discover_files(paths)
+    modules, findings = _parse_all(files)
+    rules: List[Rule] = [
+        rule_class() for rule_class in RULES
+        if config.rule_enabled(rule_class.name)
+    ]
+    for rule in rules:
+        for module in modules:
+            if rule.applies_to(module.name, config):
+                findings.extend(rule.check_module(module, config))
+        findings.extend(rule.check_project(modules, config))
+    return sorted(_apply_suppressions(modules, findings))

@@ -1,0 +1,45 @@
+"""Finding record and output formatting for the repo linter.
+
+A :class:`Finding` is one violated invariant at one source location.  The
+two renderers match what CI and editors expect: ``text`` is the classic
+``path:line: [rule] message`` one-line-per-finding format, ``json`` is a
+machine-readable list suitable for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is, which rule, and what to do."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a trailing count summary."""
+    lines: List[str] = [finding.format() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: ``{"findings": [...], "count": N}``."""
+    payload = {
+        "findings": [asdict(finding) for finding in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,474 @@
+"""The repo-specific lint rules.
+
+Each rule machine-checks one invariant that the paper's guarantees (or a
+prior PR's contract) depend on; ``docs/linting.md`` maps every rule to
+the claim it protects.  Rules are AST visitors over one module
+(:meth:`Rule.check_module`) or over the whole linted tree at once
+(:meth:`Rule.check_project` — used by ``registry-completeness``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.config import LintConfig, module_matches
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+
+__all__ = ["Rule", "RULES", "rule_names"]
+
+
+class Rule:
+    """Base class: name, docs, and default module scope."""
+
+    name: str = "abstract"
+    summary: str = ""
+    #: Dotted-module prefixes the rule applies to by default.
+    default_scope: Tuple[str, ...] = ("repro",)
+    #: Prefixes inside the scope that are sanctioned by default.
+    default_exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str, config: LintConfig) -> bool:
+        scope = config.scope_for(self.name, self.default_scope)
+        exempt = config.exempt_for(self.name, self.default_exempt)
+        return module_matches(module, scope) and not module_matches(
+            module, exempt
+        )
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(module.display_path, getattr(node, "lineno", 1),
+                       self.name, message)
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the absolute dotted things they refer to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy import random as npr`` -> ``{"npr": "numpy.random"}``;
+    ``from random import randint`` -> ``{"randint": "random.randint"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _resolve_call_target(
+    func: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Absolute dotted name a call targets, through import aliases."""
+    dotted = _dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = aliases.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+class SeededRngOnly(Rule):
+    """Experiments must be deterministic: Figures 3-7 are reproduced from
+    fixed seeds, so randomness must flow through an injected, seeded
+    ``numpy.random.Generator`` — never the process-global RNG state."""
+
+    name = "seeded-rng-only"
+    summary = ("global numpy.random.* / random.* call; inject a seeded "
+               "numpy.random.Generator instead")
+    default_scope = ("repro", "tests", "benchmarks")
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _resolve_call_target(node.func, aliases)
+            if target is None:
+                continue
+            if target.startswith("numpy.random."):
+                attribute = target.split(".", 2)[2].split(".")[0]
+                if attribute not in config.rng_allowed:
+                    yield self.finding(
+                        module, node,
+                        f"call to global numpy.random.{attribute}; pass a "
+                        f"seeded numpy.random.Generator "
+                        f"(np.random.default_rng(seed)) instead",
+                    )
+            elif target.startswith("random."):
+                attribute = target.split(".")[1]
+                yield self.finding(
+                    module, node,
+                    f"call to stdlib random.{attribute} uses hidden global "
+                    f"state; use an injected numpy.random.Generator",
+                )
+
+
+class UseCoreBits(Rule):
+    """``col`` is O(d) bit-exact only because all bucket bit arithmetic
+    funnels through ``repro.core.bits`` (Def. 6, Lemma 6).  Ad-hoc
+    popcount/Hamming reimplementations drift out from under the proofs
+    and the property tests that pin them."""
+
+    name = "use-core-bits"
+    summary = ("ad-hoc bit twiddling; call repro.core.bits.popcount / "
+               "hamming_distance")
+    default_scope = ("repro", "tests", "benchmarks")
+    default_exempt = ("repro.core.bits", "tests.test_bits")
+
+    @staticmethod
+    def _is_count_of_ones(node: ast.Call) -> bool:
+        """``bin(x).count("1")`` or ``format(x, "b").count("1")``."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "count"):
+            return False
+        if not (
+            len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "1"
+        ):
+            return False
+        receiver = func.value
+        if not isinstance(receiver, ast.Call):
+            return False
+        inner = receiver.func
+        if isinstance(inner, ast.Name) and inner.id == "bin":
+            return True
+        return (
+            isinstance(inner, ast.Name)
+            and inner.id == "format"
+            and len(receiver.args) == 2
+            and isinstance(receiver.args[1], ast.Constant)
+            and receiver.args[1].value in ("b", "#b", "064b")
+        )
+
+    @staticmethod
+    def _is_kernighan_loop(node: ast.While) -> bool:
+        """``while x: ...; x &= x - 1`` — the classic popcount loop."""
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.AugAssign)
+                and isinstance(child.op, ast.BitAnd)
+                and isinstance(child.target, ast.Name)
+                and isinstance(child.value, ast.BinOp)
+                and isinstance(child.value.op, ast.Sub)
+                and isinstance(child.value.left, ast.Name)
+                and child.value.left.id == child.target.id
+            ):
+                return True
+        return False
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                if self._is_count_of_ones(node):
+                    yield self.finding(
+                        module, node,
+                        'bin(x).count("1") reimplements popcount; call '
+                        "repro.core.bits.popcount",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "bit_count"
+                    and not node.args
+                ):
+                    yield self.finding(
+                        module, node,
+                        "x.bit_count() bypasses repro.core.bits; call "
+                        "popcount / hamming_distance so the O(d) hot path "
+                        "stays in one audited module",
+                    )
+            elif isinstance(node, ast.While) and self._is_kernighan_loop(node):
+                yield self.finding(
+                    module, node,
+                    "manual clear-lowest-set-bit popcount loop; call "
+                    "repro.core.bits.popcount",
+                )
+
+
+class ChargeThroughBufferPool(Rule):
+    """PR 1's contract: only cache *misses* may be charged to the
+    simulated ``DiskArray``.  Any ``.charge()`` call outside the
+    sanctioned engine/simulator/cache modules bypasses the buffer pool
+    and silently inflates I/O counts."""
+
+    name = "charge-through-buffer-pool"
+    summary = ("DiskArray.charge outside the sanctioned engine modules "
+               "bypasses the buffer pool")
+    default_scope = ("repro",)
+    default_exempt = (
+        "repro.parallel.engine",
+        "repro.parallel.paged",
+        "repro.parallel.window",
+        "repro.parallel.cache",
+        "repro.parallel.disks",
+    )
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "charge"
+            ):
+                yield self.finding(
+                    module, node,
+                    "page reads must be charged through the buffer-pool "
+                    "engines (repro.parallel.engine/paged/window) so only "
+                    "cache misses hit the DiskArray",
+                )
+
+
+class NoFloatEq(Rule):
+    """Distances are floating point; ``==``/``!=`` on them makes kNN
+    tie-breaking and pruning depend on rounding.  Compare squared keys,
+    or use ``math.isclose`` / ``numpy.isclose`` with explicit tolerance."""
+
+    name = "no-float-eq"
+    summary = "exact ==/!= on a float-valued distance expression"
+    default_scope = ("repro.index", "repro.analysis")
+
+    _FLOAT_CALL_NAMES = frozenset(
+        {"sqrt", "norm", "mindist", "minmaxdist", "key_to_distance"}
+    )
+
+    @classmethod
+    def _is_floatish(cls, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return cls._is_floatish(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Div, ast.Pow)):
+                return True
+            return cls._is_floatish(node.left) or cls._is_floatish(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else ""
+            )
+            lowered = name.lower()
+            return lowered in cls._FLOAT_CALL_NAMES or "dist" in lowered
+        return False
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(self._is_floatish(operand) for operand in operands):
+                yield self.finding(
+                    module, node,
+                    "exact ==/!= on a float distance expression is "
+                    "rounding-dependent; compare squared keys or use "
+                    "math.isclose with an explicit tolerance",
+                )
+
+
+class NoPrintOutsideCli(Rule):
+    """Library modules are imported by engines, simulators, and tests;
+    stray ``print`` output corrupts reports and benchmark pipelines.
+    Output belongs to the CLI layer (and ``experiments.report``)."""
+
+    name = "no-print-outside-cli"
+    summary = "print() in a library module; route output through the CLI"
+    default_scope = ("repro",)
+    default_exempt = (
+        "repro.cli",
+        "repro.__main__",
+        "repro.experiments.report",
+        "repro.lint.cli",
+        "repro.lint.__main__",
+    )
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module, node,
+                    "library modules must not print; return data and let "
+                    "the CLI (repro.cli) render it",
+                )
+
+
+class NoBroadExcept(Rule):
+    """``except Exception`` hides the precise failure modes the
+    reproduction scorecard is meant to distinguish; catch the specific
+    types a checker can actually raise."""
+
+    name = "no-broad-except"
+    summary = "bare/over-broad except; catch specific exception types"
+    default_scope = ("repro",)
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare except catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception types this block can really handle",
+                )
+                continue
+            names = (
+                [elt for elt in node.type.elts]
+                if isinstance(node.type, ast.Tuple)
+                else [node.type]
+            )
+            for caught in names:
+                dotted = _dotted_name(caught) or ""
+                if dotted.split(".")[-1] in ("Exception", "BaseException"):
+                    yield self.finding(
+                        module, node,
+                        f"except {dotted} is too broad; catch the specific "
+                        f"failure types instead",
+                    )
+                    break
+
+
+class RegistryCompleteness(Rule):
+    """Every declustering scheme defined in ``core/`` and ``baselines/``
+    must be reachable from the CLI/harness registry
+    (``repro.registry.DECLUSTERERS``), or experiments silently stop
+    covering it."""
+
+    name = "registry-completeness"
+    summary = "declustering scheme not registered in repro.registry"
+    default_scope = ("repro.core", "repro.baselines")
+
+    def _scheme_classes(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[ast.ClassDef]:
+        suffix = config.scheme_suffix
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_") or node.name in config.abstract_schemes:
+                continue
+            base_names = [
+                (_dotted_name(base) or "").split(".")[-1]
+                for base in node.bases
+            ]
+            if node.name.endswith(suffix) and any(
+                name.endswith(suffix) or name == "ABC"
+                for name in base_names
+            ):
+                yield node
+
+    @staticmethod
+    def _registered_names(registry: ModuleInfo) -> frozenset:
+        names = set()
+        for node in ast.walk(registry.tree):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.ImportFrom):
+                names.update(alias.name for alias in node.names)
+        return frozenset(names)
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], config: LintConfig
+    ) -> Iterator[Finding]:
+        in_scope = [
+            module for module in modules if self.applies_to(module.name, config)
+        ]
+        schemes: List[Tuple[ModuleInfo, ast.ClassDef]] = [
+            (module, node)
+            for module in in_scope
+            for node in self._scheme_classes(module, config)
+        ]
+        if not schemes:
+            return
+        registry = next(
+            (m for m in modules if m.name == config.registry_module), None
+        )
+        if registry is None:
+            registry = ModuleInfo.locate_sibling(
+                schemes[0][0], config.registry_module
+            )
+        if registry is None:
+            module, node = schemes[0]
+            yield self.finding(
+                module, node,
+                f"registry module {config.registry_module} not found; "
+                f"schemes cannot be checked for CLI/harness reachability",
+            )
+            return
+        registered = self._registered_names(registry)
+        for module, node in schemes:
+            if node.name not in registered:
+                yield self.finding(
+                    module, node,
+                    f"scheme {node.name} is not referenced by "
+                    f"{config.registry_module}; register it in DECLUSTERERS "
+                    f"so the CLI and harness can reach it",
+                )
+
+
+#: Registered rule classes, in reporting order.
+RULES: Tuple[Type[Rule], ...] = (
+    SeededRngOnly,
+    UseCoreBits,
+    ChargeThroughBufferPool,
+    NoFloatEq,
+    NoPrintOutsideCli,
+    NoBroadExcept,
+    RegistryCompleteness,
+)
+
+
+def rule_names() -> Tuple[str, ...]:
+    return tuple(rule.name for rule in RULES)

@@ -1,6 +1,8 @@
 """Parallel I/O substrate: disk simulator, declustered store, query
 engine."""
 
+from __future__ import annotations
+
 from repro.parallel.cache import (
     BufferPool,
     CacheConfig,

@@ -137,7 +137,7 @@ class LRUCache:
         """Resident weight in pages."""
         return self._used
 
-    def keys(self):
+    def keys(self) -> list[Hashable]:
         """Resident keys in LRU-to-MRU order."""
         return list(self._entries)
 

@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.parallel.cache import CacheStats
+from repro.parallel.cache import BufferPool, CacheStats
 from repro.parallel.disks import DiskParameters
 from repro.parallel.engine import CacheSpec
 from repro.parallel.paged import PagedEngine, PagedStore
@@ -111,7 +111,7 @@ class EventDrivenSimulator:
         self._engine = PagedEngine(store, self.parameters, cache=cache)
 
     @property
-    def cache(self):
+    def cache(self) -> Optional[BufferPool]:
         """The engine's buffer pool (None when caching is off)."""
         return self._engine.cache
 

@@ -1,0 +1,67 @@
+"""Canonical registry of declustering schemes.
+
+Single source of truth mapping a short scheme name (the label used in
+the paper's figures: ``new``, ``HIL``, ``DM``, ...) to the class
+implementing it.  The CLI's ``schemes`` subcommand lists this table and
+experiments can construct schemes by name via :func:`make_declusterer`.
+
+The ``registry-completeness`` lint rule (``python -m repro.lint``)
+cross-checks this module against every ``*Declusterer`` defined in
+``repro.core`` and ``repro.baselines``: a scheme that never appears here
+is unreachable from the CLI/harness and gets flagged at its class
+definition.  Adding a scheme therefore means adding exactly one entry to
+:data:`DECLUSTERERS` below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.baselines.disk_modulo import DiskModuloDeclusterer
+from repro.baselines.fx import FXDeclusterer
+from repro.baselines.hilbert_decluster import HilbertDeclusterer
+from repro.baselines.round_robin import RoundRobinDeclusterer
+from repro.core.declustering import Declusterer
+from repro.core.optimal import GraphColoringDeclusterer
+from repro.core.recursive import RecursiveDeclusterer
+from repro.core.vertex_coloring import NearOptimalDeclusterer
+
+__all__ = ["DECLUSTERERS", "available_schemes", "make_declusterer"]
+
+#: Scheme name (as used in figures and reports) -> implementing class.
+DECLUSTERERS: Dict[str, Type[Declusterer]] = {
+    NearOptimalDeclusterer.name: NearOptimalDeclusterer,
+    RecursiveDeclusterer.name: RecursiveDeclusterer,
+    GraphColoringDeclusterer.name: GraphColoringDeclusterer,
+    RoundRobinDeclusterer.name: RoundRobinDeclusterer,
+    DiskModuloDeclusterer.name: DiskModuloDeclusterer,
+    FXDeclusterer.name: FXDeclusterer,
+    HilbertDeclusterer.name: HilbertDeclusterer,
+}
+
+
+def available_schemes() -> Tuple[str, ...]:
+    """Registered scheme names, in registry order."""
+    return tuple(DECLUSTERERS)
+
+
+def make_declusterer(
+    scheme: str, dimension: int, num_disks: int, **kwargs: object
+) -> Declusterer:
+    """Construct the declusterer registered under ``scheme``.
+
+    Extra keyword arguments are forwarded to the scheme's constructor
+    (e.g. ``split_values`` for bucket declusterers, ``alpha`` for the
+    recursive scheme).
+
+    >>> make_declusterer("DM", dimension=3, num_disks=4).name
+    'DM'
+    """
+    try:
+        cls = DECLUSTERERS[scheme]
+    except KeyError:
+        known = ", ".join(DECLUSTERERS)
+        raise ValueError(
+            f"unknown declustering scheme {scheme!r}; registered: {known}"
+        ) from None
+    return cls(dimension, num_disks, **kwargs)

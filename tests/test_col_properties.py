@@ -1,0 +1,94 @@
+"""Property tests pinning the Def. 6 coloring hot path (``col``).
+
+The ``use-core-bits`` and ``no-float-eq`` lint rules assume the bucket
+coloring stays bit-exact inside ``repro.core``; these hypothesis
+properties pin the contract itself for d = 1..64:
+
+* ``col_array`` agrees with the scalar ``col`` everywhere (including the
+  d = 64 bucket space, which exceeds int64);
+* colors stay inside Lemma 6's staircase ``2^ceil(log2(d+1))``;
+* ``col`` is one XOR per set bit — O(d) — so zero-padding extra
+  dimensions never changes a color, and Lemma 2 distributivity holds.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from operator import xor
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import set_bit_positions
+from repro.core.vertex_coloring import col, col_array, colors_required
+
+MAX_DIMENSION = 64
+
+
+@st.composite
+def dimension_and_buckets(draw):
+    """A dimension d in 1..64 plus a batch of valid bucket numbers."""
+    dimension = draw(st.integers(min_value=1, max_value=MAX_DIMENSION))
+    buckets = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << dimension) - 1),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return dimension, buckets
+
+
+@settings(deadline=None)
+@given(dimension_and_buckets())
+def test_col_array_agrees_with_scalar_col(case):
+    dimension, buckets = case
+    expected = [col(bucket) for bucket in buckets]
+    result = col_array(buckets, dimension)
+    assert result.dtype == np.int64
+    assert result.tolist() == expected
+
+
+@settings(deadline=None)
+@given(dimension_and_buckets())
+def test_col_stays_inside_lemma6_staircase(case):
+    dimension, buckets = case
+    limit = colors_required(dimension)
+    for bucket in buckets:
+        assert 0 <= col(bucket) < limit
+
+
+@settings(deadline=None)
+@given(dimension_and_buckets())
+def test_col_is_one_xor_per_set_bit(case):
+    """O(d) structure: the color is exactly XOR of (i+1) over set bits."""
+    dimension, buckets = case
+    for bucket in buckets:
+        positions = set_bit_positions(bucket)
+        assert len(positions) <= dimension
+        assert col(bucket) == reduce(xor, (i + 1 for i in positions), 0)
+
+
+@settings(deadline=None)
+@given(dimension_and_buckets(), st.integers(min_value=0, max_value=8))
+def test_col_array_ignores_zero_padded_dimensions(case, padding):
+    """Extra all-zero dimensions contribute nothing (one pass per dim)."""
+    dimension, buckets = case
+    padded = min(dimension + padding, MAX_DIMENSION)
+    base = col_array(buckets, dimension)
+    assert col_array(buckets, padded).tolist() == base.tolist()
+
+
+@settings(deadline=None)
+@given(
+    st.integers(min_value=0, max_value=(1 << MAX_DIMENSION) - 1),
+    st.integers(min_value=0, max_value=(1 << MAX_DIMENSION) - 1),
+)
+def test_col_distributivity_lemma2(a, b):
+    assert col(a ^ b) == col(a) ^ col(b)
+
+
+def test_col_of_single_bit_is_position_plus_one():
+    for position in range(MAX_DIMENSION):
+        assert col(1 << position) == position + 1

@@ -1,0 +1,357 @@
+"""Tests for the repo-specific static checker (``repro.lint``).
+
+Each rule gets a bad fixture (must fire) and a good fixture (must stay
+silent), written into a tmp tree that mirrors the real ``src/repro``
+layout so the default scopes apply.  A meta-test asserts the live tree
+ships lint-clean.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+import repro
+from repro.lint import run_lint
+from repro.lint.cli import main
+from repro.lint.engine import UNUSED_SUPPRESSION
+
+REPO_SRC = pathlib.Path(repro.__file__).parent
+REPO_TESTS = pathlib.Path(__file__).parent
+
+
+def lint_snippet(tmp_path, relpath, source):
+    """Write ``source`` at ``relpath`` inside a fake repo tree and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint([tmp_path])
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestSeededRngOnly:
+    BAD = """\
+        import numpy as np
+
+        def sample(n):
+            return np.random.rand(n)
+    """
+    GOOD = """\
+        import numpy as np
+
+        def sample(n, rng: np.random.Generator):
+            return rng.random(n)
+
+        def make_rng(seed):
+            return np.random.default_rng(seed)
+    """
+
+    def test_fires_on_global_numpy_rng(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py", self.BAD
+        )
+        assert rules_of(findings) == ["seeded-rng-only"]
+        assert findings[0].line == 4
+
+    def test_fires_on_stdlib_random(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py",
+            "import random\nx = random.randint(0, 7)\n",
+        )
+        assert rules_of(findings) == ["seeded-rng-only"]
+
+    def test_silent_on_injected_generator(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py", self.GOOD
+        ) == []
+
+    def test_resolves_import_aliases(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py",
+            "from numpy import random as npr\nnpr.seed(3)\n",
+        )
+        assert rules_of(findings) == ["seeded-rng-only"]
+
+
+class TestUseCoreBits:
+    def test_fires_on_bin_count(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/index/fixture.py",
+            'def pop(x):\n    return bin(x).count("1")\n',
+        )
+        assert rules_of(findings) == ["use-core-bits"]
+
+    def test_fires_on_bit_count_method(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/index/fixture.py",
+            "def pop(x):\n    return x.bit_count()\n",
+        )
+        assert rules_of(findings) == ["use-core-bits"]
+
+    def test_fires_on_kernighan_loop(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/index/fixture.py", """\
+            def pop(x):
+                count = 0
+                while x:
+                    x &= x - 1
+                    count += 1
+                return count
+            """,
+        )
+        assert rules_of(findings) == ["use-core-bits"]
+
+    def test_silent_on_core_bits_calls(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/index/fixture.py", """\
+            from repro.core.bits import hamming_distance, popcount
+
+            def weight(a, b):
+                return popcount(a) + hamming_distance(a, b)
+            """,
+        ) == []
+
+    def test_bits_module_itself_is_exempt(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/core/bits.py",
+            'def popcount(x):\n    return bin(x).count("1")\n',
+        ) == []
+
+
+class TestChargeThroughBufferPool:
+    BAD = """\
+        def sneaky_read(disks, disk):
+            disks.charge(disk, 3)
+    """
+
+    def test_fires_outside_sanctioned_modules(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py", self.BAD
+        )
+        assert rules_of(findings) == ["charge-through-buffer-pool"]
+
+    def test_engine_modules_are_sanctioned(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/parallel/engine.py", self.BAD
+        ) == []
+
+    def test_tests_are_out_of_scope(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "tests/fixture_disks.py", self.BAD
+        ) == []
+
+
+class TestNoFloatEq:
+    def test_fires_on_float_literal_eq(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/index/fixture.py",
+            "def same(d):\n    return d == 0.5\n",
+        )
+        assert rules_of(findings) == ["no-float-eq"]
+
+    def test_fires_on_distance_call_neq(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/analysis/fixture.py", """\
+            def tie(metric, a, b, q):
+                return metric.distance(a, q) != metric.distance(b, q)
+            """,
+        )
+        assert rules_of(findings) == ["no-float-eq"]
+
+    def test_silent_on_integer_compare(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/index/fixture.py",
+            "def same(k, n):\n    return k == n and k != 3\n",
+        ) == []
+
+    def test_out_of_scope_packages_unaffected(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            "def same(d):\n    return d == 0.5\n",
+        ) == []
+
+
+class TestNoPrintOutsideCli:
+    def test_fires_in_library_module(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            'def loud():\n    print("hi")\n',
+        )
+        assert rules_of(findings) == ["no-print-outside-cli"]
+
+    def test_cli_is_exempt(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/cli.py",
+            'def loud():\n    print("hi")\n',
+        ) == []
+
+
+class TestNoBroadExcept:
+    def test_fires_on_bare_and_broad_except(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py", """\
+            def risky(fn):
+                try:
+                    fn()
+                except Exception:
+                    return None
+                try:
+                    fn()
+                except:
+                    return None
+            """,
+        )
+        assert rules_of(findings) == ["no-broad-except", "no-broad-except"]
+
+    def test_silent_on_specific_types(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/experiments/fixture.py", """\
+            def risky(fn):
+                try:
+                    return fn()
+                except (ValueError, KeyError):
+                    return None
+            """,
+        ) == []
+
+
+SCHEME = """\
+    from repro.core.declustering import BucketDeclusterer
+
+
+    class FancyDeclusterer(BucketDeclusterer):
+        name = "fancy"
+
+        def disk_for_bucket(self, bucket):
+            return 0
+"""
+
+
+class TestRegistryCompleteness:
+    def test_fires_on_unregistered_scheme(self, tmp_path):
+        (tmp_path / "src/repro").mkdir(parents=True)
+        (tmp_path / "src/repro/registry.py").write_text(
+            "DECLUSTERERS = {}\n"
+        )
+        findings = lint_snippet(
+            tmp_path, "src/repro/core/fancy.py", SCHEME
+        )
+        assert rules_of(findings) == ["registry-completeness"]
+        assert "FancyDeclusterer" in findings[0].message
+
+    def test_silent_when_registered(self, tmp_path):
+        (tmp_path / "src/repro").mkdir(parents=True)
+        (tmp_path / "src/repro/registry.py").write_text(textwrap.dedent("""\
+            from repro.core.fancy import FancyDeclusterer
+
+            DECLUSTERERS = {"fancy": FancyDeclusterer}
+        """))
+        assert lint_snippet(tmp_path, "src/repro/core/fancy.py", SCHEME) == []
+
+    def test_finds_registry_on_disk_when_not_linted(self, tmp_path):
+        """Linting a single core file still locates src/repro/registry.py."""
+        (tmp_path / "src/repro").mkdir(parents=True)
+        (tmp_path / "src/repro/registry.py").write_text(
+            "DECLUSTERERS = {}\n"
+        )
+        scheme = tmp_path / "src/repro/core/fancy.py"
+        scheme.parent.mkdir(parents=True)
+        scheme.write_text(textwrap.dedent(SCHEME))
+        findings = run_lint([scheme])
+        assert rules_of(findings) == ["registry-completeness"]
+
+    def test_missing_registry_is_reported(self, tmp_path):
+        findings = lint_snippet(tmp_path, "src/repro/core/fancy.py", SCHEME)
+        assert rules_of(findings) == ["registry-completeness"]
+        assert "not found" in findings[0].message
+
+
+class TestSuppressions:
+    def test_same_line_disable_silences_the_rule(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            'print("x")  # repro-lint: disable=no-print-outside-cli\n',
+        ) == []
+
+    def test_disable_all_silences_everything(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            'print("x")  # repro-lint: disable=all\n',
+        ) == []
+
+    def test_wrong_rule_does_not_silence(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            'print("x")  # repro-lint: disable=no-float-eq\n',
+        )
+        assert sorted(rules_of(findings)) == [
+            "no-print-outside-cli", UNUSED_SUPPRESSION,
+        ]
+
+    def test_unused_suppression_is_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            "x = 1  # repro-lint: disable=no-print-outside-cli\n",
+        )
+        assert rules_of(findings) == [UNUSED_SUPPRESSION]
+
+    def test_disable_inside_string_literal_is_ignored(self, tmp_path):
+        assert lint_snippet(
+            tmp_path, "src/repro/data/fixture.py",
+            'text = "# repro-lint: disable=no-print-outside-cli"\n',
+        ) == []
+
+
+class TestEngineAndCli:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "src/repro/data/fixture.py", "def broken(:\n"
+        )
+        assert rules_of(findings) == ["syntax-error"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "src/repro/data/fixture.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text('print("x")\n')
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "[no-print-outside-cli]" in out and "fixture.py:1" in out
+        bad.write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "src/repro/data/fixture.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text('print("x")\n')
+        assert main([str(tmp_path), "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "no-print-outside-cli"
+        assert payload["findings"][0]["line"] == 1
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "seeded-rng-only",
+            "use-core-bits",
+            "charge-through-buffer-pool",
+            "no-float-eq",
+            "no-print-outside-cli",
+            "no-broad-except",
+            "registry-completeness",
+        ):
+            assert rule in out
+
+
+@pytest.mark.parametrize("tree", [REPO_SRC, REPO_TESTS])
+def test_live_tree_is_lint_clean(tree):
+    """The shipped repository must uphold its own invariants."""
+    findings = run_lint([tree])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -1,0 +1,44 @@
+"""Tests for the declustering-scheme registry (``repro.registry``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.declustering import Declusterer
+from repro.registry import DECLUSTERERS, available_schemes, make_declusterer
+
+
+class TestRegistry:
+    def test_every_figure_label_is_registered(self):
+        assert {"new", "new+rec", "RR", "DM", "FX", "HIL"} <= set(
+            available_schemes()
+        )
+
+    def test_names_match_class_name_attributes(self):
+        for name, cls in DECLUSTERERS.items():
+            assert cls.name == name
+
+    def test_make_declusterer_constructs_each_scheme(self):
+        for name in available_schemes():
+            declusterer = make_declusterer(name, dimension=3, num_disks=4)
+            assert isinstance(declusterer, Declusterer)
+            assert declusterer.dimension == 3
+            assert declusterer.num_disks == 4
+
+    def test_make_declusterer_forwards_kwargs(self):
+        recursive = make_declusterer(
+            "new+rec", dimension=3, num_disks=4, max_levels=2
+        )
+        assert recursive.max_levels == 2
+
+    def test_unknown_scheme_lists_known_names(self):
+        with pytest.raises(ValueError, match="HIL"):
+            make_declusterer("nope", dimension=3, num_disks=4)
+
+    def test_cli_schemes_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for name in available_schemes():
+            assert name in out
