@@ -2,24 +2,34 @@
 
 Each benchmark regenerates one figure of the paper and records the result
 table under ``benchmarks/results/`` so the numbers in EXPERIMENTS.md can be
-traced to a concrete run.
+traced to a concrete run.  Every table is written twice: ``<name>.txt``
+(human-readable ASCII) and ``<name>.json`` (the
+``repro.result_table/v1`` schema from :func:`repro.obs.table_to_json`)
+so downstream tooling can track the perf trajectory without parsing
+ASCII tables.
 """
 
 import pathlib
 
 import pytest
 
+from repro.obs import table_to_json
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
 def record_table():
-    """Persist a ResultTable and echo it into the captured output."""
+    """Persist a ResultTable (.txt + .json) and echo it into the
+    captured output."""
 
     def recorder(table, name: str):
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(table.to_text() + "\n")
+        (RESULTS_DIR / f"{name}.json").write_text(
+            table_to_json(table) + "\n"
+        )
         print("\n" + table.to_text())
         return table
 

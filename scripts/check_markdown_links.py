@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Check that relative markdown links point at files that exist.
+
+Scans every ``*.md`` file under the given roots (default: the repo's
+documentation set — top-level ``*.md`` plus ``docs/``) for inline links
+``[text](target)`` and verifies each *relative* target resolves to a
+file or directory on disk.  External links (``http(s)://``,
+``mailto:``), pure in-page anchors (``#section``) and autolinks are
+ignored; a ``path#anchor`` target is checked for the path part only.
+
+Used by the CI ``docs`` job; importable for tests::
+
+    from check_markdown_links import find_broken_links
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+# Inline links only — skip images' leading "!" separately so the target
+# of ![alt](img.png) is still checked.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+BrokenLink = Tuple[pathlib.Path, int, str]
+
+
+def iter_links(text: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline markdown link."""
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def find_broken_links(files: Iterable[pathlib.Path]) -> List[BrokenLink]:
+    """Return ``(file, line, target)`` for every dangling relative link."""
+    broken: List[BrokenLink] = []
+    for path in files:
+        for number, target in iter_links(path.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((path, number, target))
+    return broken
+
+
+def default_files(root: pathlib.Path) -> List[pathlib.Path]:
+    """The repo's documentation set: top-level ``*.md`` + ``docs/**.md``."""
+    files = sorted(root.glob("*.md"))
+    files += sorted((root / "docs").glob("**/*.md"))
+    return files
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="markdown files or directories to scan "
+             "(default: repo docs set)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.paths:
+        files: List[pathlib.Path] = []
+        for path in args.paths:
+            files += sorted(path.glob("**/*.md")) if path.is_dir() else [path]
+    else:
+        files = default_files(pathlib.Path(__file__).resolve().parents[1])
+    broken = find_broken_links(files)
+    for path, line, target in broken:
+        print(f"{path}:{line}: broken link -> {target}")
+    print(f"{len(files)} files scanned, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,10 +72,21 @@ from repro.parallel import (
     SequentialEngine,
 )
 
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    current_metrics,
+    current_tracer,
+    observe,
+)
 from repro.registry import (
     DECLUSTERERS,
+    SCHEME_ALIASES,
     available_schemes,
     make_declusterer,
+    resolve_scheme,
 )
 from repro.persistence import (
     load_paged_store,
@@ -89,8 +100,17 @@ __version__ = "1.0.0"
 __all__ = [
     "AdaptiveSplitTracker",
     "DECLUSTERERS",
+    "SCHEME_ALIASES",
     "available_schemes",
     "make_declusterer",
+    "resolve_scheme",
+    "MetricsRegistry",
+    "NullTracer",
+    "RecordingTracer",
+    "Tracer",
+    "current_metrics",
+    "current_tracer",
+    "observe",
     "BucketDeclusterer",
     "BufferPool",
     "CacheConfig",

@@ -6,7 +6,14 @@ Usage::
     python -m repro figures --run fig13 --scale 0.5
     python -m repro figures --run all --scale 0.25 --out results/
     python -m repro ablations --run neighbor_depth
+    python -m repro trace --scheme col --d 16 --disks 16
+    python -m repro stats --scheme col --d 16 --disks 16 --cache-pages 64
     python -m repro info
+
+``trace`` runs a small seeded kNN workload and emits the structured
+event stream (JSONL or CSV; see ``docs/observability.md``); ``stats``
+runs the same workload and renders the metrics registry instead.  Any
+figures/ablations run can be traced end to end with ``--trace-out``.
 """
 
 from __future__ import annotations
@@ -135,19 +142,135 @@ def _run_group(
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
     cache_pages = getattr(args, "cache_pages", None)
-    for name in targets:
-        runner = registry[name]
-        if name in unscaled:
-            table = runner()
-        else:
-            kwargs = dict(scale=args.scale, seed=args.seed)
-            if (
-                cache_pages is not None
-                and "cache_pages" in inspect.signature(runner).parameters
-            ):
-                kwargs["cache_pages"] = cache_pages
-            table = runner(**kwargs)
-        _emit(table, args.out, name)
+
+    def run_targets() -> None:
+        for name in targets:
+            runner = registry[name]
+            if name in unscaled:
+                table = runner()
+            else:
+                kwargs = dict(scale=args.scale, seed=args.seed)
+                if (
+                    cache_pages is not None
+                    and "cache_pages" in inspect.signature(runner).parameters
+                ):
+                    kwargs["cache_pages"] = cache_pages
+                table = runner(**kwargs)
+            _emit(table, args.out, name)
+
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        run_targets()
+        return 0
+    from repro.obs import (
+        MetricsRegistry,
+        RecordingTracer,
+        events_to_jsonl,
+        observe,
+    )
+
+    tracer = RecordingTracer(metrics=MetricsRegistry())
+    with observe(tracer):
+        run_targets()
+    path = pathlib.Path(trace_out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(events_to_jsonl(tracer.events) + "\n")
+    print(f"{len(tracer.events)} trace events written to {trace_out}")
+    return 0
+
+
+def _traced_workload(args: argparse.Namespace):
+    """Run the seeded trace/stats workload; returns (tracer, totals).
+
+    ``totals`` are the per-disk page counts accumulated from the engines'
+    own ``DiskArray`` accounting — the ground truth the emitted
+    ``page_read`` events must match bit-for-bit.
+    """
+    import numpy as np
+
+    from repro.obs import MetricsRegistry, RecordingTracer
+    from repro.registry import make_declusterer
+
+    rng = np.random.default_rng(args.seed)
+    points = rng.random((args.n, args.d))
+    queries = rng.random((args.queries, args.d))
+    declusterer = make_declusterer(args.scheme, args.d, args.disks)
+    tracer = RecordingTracer(metrics=MetricsRegistry())
+    if args.engine == "item":
+        from repro.parallel.engine import ParallelEngine
+        from repro.parallel.store import DeclusteredStore
+
+        store = DeclusteredStore(points, declusterer)
+        engine = ParallelEngine(
+            store, cache=args.cache_pages, tracer=tracer
+        )
+    else:
+        from repro.parallel.paged import PagedEngine, PagedStore
+
+        store = PagedStore(points, declusterer)
+        engine = PagedEngine(store, cache=args.cache_pages, tracer=tracer)
+    totals = np.zeros(args.disks, dtype=np.int64)
+    for query in queries:
+        result = engine.query(query, args.k)
+        totals += result.pages_per_disk
+    return tracer, totals
+
+
+def _write_or_print(text: str, out: Optional[str], what: str) -> None:
+    if out:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"{what} written to {out}")
+    else:
+        print(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import events_to_csv, events_to_jsonl
+
+    try:
+        tracer, totals = _traced_workload(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    traced = tracer.pages_per_disk(args.disks)
+    if traced != [int(t) for t in totals]:
+        print(
+            f"trace/disk-counter mismatch: page_read events sum to "
+            f"{traced}, DiskArray counted {totals.tolist()}",
+            file=sys.stderr,
+        )
+        return 1
+    render = events_to_jsonl if args.format == "jsonl" else events_to_csv
+    _write_or_print(
+        render(tracer.events), args.out, f"{len(tracer.events)} events"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import metrics_to_csv, metrics_to_json, summary_table
+
+    try:
+        tracer, _ = _traced_workload(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    registry = tracer.metrics
+    if args.format == "json":
+        text = metrics_to_json(registry)
+    elif args.format == "csv":
+        text = metrics_to_csv(registry)
+    else:
+        text = summary_table(
+            registry,
+            title=(
+                f"{args.scheme} d={args.d} disks={args.disks} "
+                f"n={args.n} queries={args.queries} k={args.k}"
+            ),
+        )
+    _write_or_print(text, args.out, "metrics")
     return 0
 
 
@@ -217,6 +340,46 @@ def build_parser() -> argparse.ArgumentParser:
                        "default: experiment-specific sweep)")
         p.add_argument("--out", default=None,
                        help="directory to write result tables to")
+        p.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="trace the whole run (ambient observability) "
+                       "and write the JSONL event stream to this file")
+
+    for command, help_text, formats, default_format in (
+        ("trace",
+         "run a seeded kNN workload and emit its structured event trace",
+         ("jsonl", "csv"), "jsonl"),
+        ("stats",
+         "run a seeded kNN workload and render its metrics registry",
+         ("table", "json", "csv"), "table"),
+    ):
+        p = sub.add_parser(command, help=help_text)
+        p.add_argument("--scheme", default="col",
+                       help="declustering scheme or alias, e.g. col, RR, "
+                       "HIL (default col; see the 'schemes' subcommand)")
+        p.add_argument("--d", type=int, default=16,
+                       help="data dimensionality (default 16)")
+        p.add_argument("--disks", type=int, default=16,
+                       help="number of disks (default 16)")
+        p.add_argument("--n", type=int, default=2000,
+                       help="points in the store (default 2000)")
+        p.add_argument("--queries", type=int, default=5,
+                       help="kNN queries to run (default 5)")
+        p.add_argument("--k", type=int, default=10,
+                       help="neighbors per query (default 10)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="random seed (default 0)")
+        p.add_argument("--engine", choices=("paged", "item"),
+                       default="paged",
+                       help="page-level shared-directory engine or "
+                       "item-level engine (default paged)")
+        p.add_argument("--cache-pages", type=_nonnegative_int,
+                       default=None, dest="cache_pages",
+                       help="attach an LRU buffer pool of this many pages "
+                       "(default: no cache)")
+        p.add_argument("--format", choices=formats, default=default_format,
+                       help=f"output format (default {default_format})")
+        p.add_argument("--out", default=None,
+                       help="file to write to (default: stdout)")
 
     sub.add_parser("info", help="show library facts (staircase, capacities)")
 
@@ -250,6 +413,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_group(FIGURES, _UNSCALED, args)
     if args.command == "ablations":
         return _run_group(ABLATIONS, _NO_SCALE_ABLATIONS, args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "schemes":

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.tracer import Tracer
 from repro.parallel.disks import DiskParameters
 from repro.parallel.engine import ParallelEngine, SequentialEngine
 from repro.parallel.paged import PagedEngine, PagedStore
@@ -181,9 +182,15 @@ def paged_costs(
     queries: np.ndarray,
     k: int,
     parameters: Optional[DiskParameters] = None,
+    tracer: Optional[Tracer] = None,
 ) -> QueryCosts:
-    """Average busiest-disk costs of the page-level parallel engine."""
-    engine = PagedEngine(store, parameters)
+    """Average busiest-disk costs of the page-level parallel engine.
+
+    Without an explicit ``tracer`` the engine falls back to the ambient
+    :func:`repro.obs.observe` tracer, so whole experiment runs can be
+    traced without touching their runners.
+    """
+    engine = PagedEngine(store, parameters, tracer=tracer)
     pages, times, balance = [], [], []
     for query in queries:
         result = engine.query(query, k)
@@ -202,9 +209,15 @@ def item_costs(
     k: int,
     parameters: Optional[DiskParameters] = None,
     mode: str = "coordinated",
+    tracer: Optional[Tracer] = None,
 ) -> QueryCosts:
-    """Average busiest-disk costs of the item-level parallel engine."""
-    engine = ParallelEngine(store, parameters)
+    """Average busiest-disk costs of the item-level parallel engine.
+
+    Without an explicit ``tracer`` the engine falls back to the ambient
+    :func:`repro.obs.observe` tracer, so whole experiment runs can be
+    traced without touching their runners.
+    """
+    engine = ParallelEngine(store, parameters, tracer=tracer)
     pages, times, balance = [], [], []
     for query in queries:
         result = engine.query(query, k, mode=mode)

@@ -1,6 +1,7 @@
 """``python -m repro.lint`` — run the repo invariant checker.
 
-Exit status 0 means every linted file upholds every invariant; 1 means
+Exit status 0 means every linted file upholds every error-severity
+invariant (warnings are reported but never fail the run); 1 means error
 findings were reported; 2 means bad usage.  ``--format=json`` emits a
 machine-readable document for tooling.
 """
@@ -12,7 +13,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.lint.engine import run_lint
-from repro.lint.findings import render_json, render_text
+from repro.lint.findings import error_findings, render_json, render_text
 from repro.lint.rules import RULES
 
 __all__ = ["main", "build_parser"]
@@ -53,7 +54,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_text(findings))
     else:
         print("0 findings")
-    return 1 if findings else 0
+    return 1 if error_findings(findings) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,8 @@ class Rule:
 
     name: str = "abstract"
     summary: str = ""
+    #: ``"error"`` fails the lint run; ``"warn"`` is advisory only.
+    severity: str = "error"
     #: Dotted-module prefixes the rule applies to by default.
     default_scope: Tuple[str, ...] = ("repro",)
     #: Prefixes inside the scope that are sanctioned by default.
@@ -48,7 +50,7 @@ class Rule:
 
     def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
         return Finding(module.display_path, getattr(node, "lineno", 1),
-                       self.name, message)
+                       self.name, message, severity=self.severity)
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -322,6 +324,7 @@ class NoPrintOutsideCli(Rule):
         "repro.experiments.report",
         "repro.lint.cli",
         "repro.lint.__main__",
+        "repro.obs.catalogue",
     )
 
     def check_module(
@@ -458,6 +461,47 @@ class RegistryCompleteness(Rule):
                 )
 
 
+class NoMissingPublicDocstring(Rule):
+    """The observability contract is documented *at* the API surface:
+    every public class/function in ``repro.parallel`` and ``repro.obs``
+    states what it does (and, for query paths, which trace events it
+    emits).  Advisory only — a warning, not a failure — so refactors are
+    not blocked mid-flight, but CI output shows the gap."""
+
+    name = "no-missing-public-docstring"
+    summary = ("public def/class without a docstring in the instrumented "
+               "packages (advisory)")
+    severity = "warn"
+    default_scope = ("repro.parallel", "repro.obs")
+
+    def _undocumented(
+        self, body: Sequence[ast.stmt], owner: str
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            qualified = f"{owner}{node.name}" if owner else node.name
+            if ast.get_docstring(node) is None:
+                yield node, qualified
+            if isinstance(node, ast.ClassDef):
+                yield from self._undocumented(node.body, f"{qualified}.")
+
+    def check_module(
+        self, module: ModuleInfo, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node, qualified in self._undocumented(module.tree.body, ""):
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield self.finding(
+                module, node,
+                f"public {kind} {qualified} has no docstring; state what "
+                f"it does and which trace events (if any) it emits",
+            )
+
+
 #: Registered rule classes, in reporting order.
 RULES: Tuple[Type[Rule], ...] = (
     SeededRngOnly,
@@ -467,6 +511,7 @@ RULES: Tuple[Type[Rule], ...] = (
     NoPrintOutsideCli,
     NoBroadExcept,
     RegistryCompleteness,
+    NoMissingPublicDocstring,
 )
 
 

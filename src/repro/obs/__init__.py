@@ -1,0 +1,76 @@
+"""repro.obs — structured observability: query tracing + metrics.
+
+The paper argues about *per-disk access distributions*; this package is
+the substrate that makes those distributions inspectable on every query
+path (see ``docs/observability.md`` for the full event vocabulary,
+metric catalogue, and a worked end-to-end example):
+
+* :mod:`repro.obs.tracer` — :class:`Tracer` interface,
+  :class:`NullTracer` zero-overhead default, :class:`RecordingTracer`
+  producing structured :class:`TraceEvent` records with latency-model
+  timestamps;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of catalogued
+  counters, per-disk vector counters, and histograms;
+* :mod:`repro.obs.context` — :func:`observe` makes a tracer ambient so
+  whole experiment runs can be traced without threading arguments;
+* :mod:`repro.obs.export` — JSONL/CSV trace exporters, metric dumps, a
+  terminal summary table, and the benchmark suite's result-table JSON;
+* :mod:`repro.obs.catalogue` — generator/verifier keeping the docs'
+  metric catalogue byte-identical to :data:`METRIC_CATALOGUE`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.context import current_metrics, current_tracer, observe
+from repro.obs.export import (
+    events_to_csv,
+    events_to_jsonl,
+    metrics_to_csv,
+    metrics_to_json,
+    summary_table,
+    table_to_json,
+)
+from repro.obs.metrics import (
+    METRIC_CATALOGUE,
+    Counter,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+    VectorCounter,
+    catalogue_names,
+    spec_for,
+)
+from repro.obs.tracer import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "METRIC_CATALOGUE",
+    "NULL_TRACER",
+    "Counter",
+    "Histogram",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "Tracer",
+    "VectorCounter",
+    "catalogue_names",
+    "current_metrics",
+    "current_tracer",
+    "events_to_csv",
+    "events_to_jsonl",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "observe",
+    "spec_for",
+    "summary_table",
+    "table_to_json",
+]

@@ -1,0 +1,216 @@
+"""Exporters: JSON-lines and CSV traces, metric dumps, summary tables.
+
+Three families, all pure string producers (writing is the caller's job,
+so the CLI and tests share one code path):
+
+* **traces** — :func:`events_to_jsonl` / :func:`events_to_csv` render a
+  :class:`~repro.obs.tracer.RecordingTracer`'s event list;
+* **metrics** — :func:`metrics_to_json` / :func:`metrics_to_csv` /
+  :func:`summary_table` render a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot;
+* **result tables** — :func:`table_to_json` renders any object with the
+  ``ResultTable`` shape (``title``/``columns``/``rows``/``notes``) as a
+  schema'd JSON document; the benchmark suite writes these next to its
+  ``results/*.txt`` files.
+
+Output is deterministic for a deterministic workload: keys are emitted
+in a fixed order and floats are plain ``repr`` values, so golden-file
+tests can compare byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Protocol, Sequence
+
+from repro.obs.metrics import MetricsRegistry, spec_for
+from repro.obs.tracer import TraceEvent
+
+__all__ = [
+    "events_to_jsonl",
+    "events_to_csv",
+    "TRACE_CSV_COLUMNS",
+    "metrics_to_json",
+    "metrics_to_csv",
+    "summary_table",
+    "table_to_json",
+]
+
+#: Fixed column set of the CSV trace format; kind-specific extras are
+#: packed into the final ``data`` column as compact JSON.
+TRACE_CSV_COLUMNS = ("seq", "t_ms", "kind", "query", "disk", "pages", "data")
+
+
+def events_to_jsonl(events: Sequence[TraceEvent]) -> str:
+    """One JSON object per line, core fields first, extras sorted."""
+    return "\n".join(
+        json.dumps(event.to_dict(), separators=(", ", ": "))
+        for event in events
+    )
+
+
+def _csv_cell(value: Any) -> str:
+    text = str(value)
+    if any(ch in text for ch in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def events_to_csv(events: Sequence[TraceEvent]) -> str:
+    """Header plus one row per event (see :data:`TRACE_CSV_COLUMNS`)."""
+    lines = [",".join(TRACE_CSV_COLUMNS)]
+    for event in events:
+        data = (
+            json.dumps(
+                {key: event.data[key] for key in sorted(event.data)},
+                separators=(",", ":"),
+            )
+            if event.data
+            else ""
+        )
+        lines.append(
+            ",".join(
+                _csv_cell(cell)
+                for cell in (
+                    event.seq,
+                    event.t_ms,
+                    event.kind,
+                    event.query,
+                    event.disk,
+                    event.pages,
+                    data,
+                )
+            )
+        )
+    return "\n".join(lines)
+
+
+def metrics_to_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot (:meth:`MetricsRegistry.as_dict`) as JSON."""
+    return json.dumps(registry.as_dict(), indent=2)
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Long-format CSV: ``metric,kind,unit,field,value`` rows.
+
+    Counters yield one ``value`` row, vector counters one ``disk<i>``
+    row per cell, histograms one row per summary statistic, and the
+    derived ``cache_hit_ratio`` closes the file when cache metrics
+    exist.
+    """
+    def unit_of(name: str) -> str:
+        spec = spec_for(name)
+        return spec.unit if spec is not None else ""
+
+    lines = ["metric,kind,unit,field,value"]
+    for name, counter in sorted(registry.counters.items()):
+        lines.append(
+            f"{name},counter,{unit_of(name)},value,{counter.value}"
+        )
+    for name, vector in sorted(registry.vectors.items()):
+        for disk, value in enumerate(vector.values):
+            lines.append(
+                f"{name},vector,{unit_of(name)},disk{disk},{value}"
+            )
+    for name, histogram in sorted(registry.histograms.items()):
+        stats = (
+            ("count", histogram.count),
+            ("total", histogram.total),
+            ("mean", histogram.mean),
+            ("min", histogram.min),
+            ("max", histogram.max),
+            ("p50", histogram.quantile(0.5)),
+            ("p95", histogram.quantile(0.95)),
+        )
+        for stat, value in stats:
+            lines.append(
+                f"{name},histogram,{unit_of(name)},{stat},{value}"
+            )
+    ratio = registry.cache_hit_ratio()
+    if ratio is not None:
+        lines.append(f"cache_hit_ratio,derived,fraction,value,{ratio}")
+    return "\n".join(lines)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def summary_table(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """Fixed-width terminal summary of every instantiated metric.
+
+    Counters and the derived cache-hit ratio print one line each;
+    vectors print their cells; histograms print count/mean/min/max/p95.
+    """
+    rows: List[List[str]] = []
+    for name, counter in sorted(registry.counters.items()):
+        spec = spec_for(name)
+        rows.append(
+            [name, str(counter.value), spec.unit if spec else ""]
+        )
+    ratio = registry.cache_hit_ratio()
+    if ratio is not None:
+        rows.append(["cache_hit_ratio", f"{ratio:.4f}", "fraction"])
+    for name, vector in sorted(registry.vectors.items()):
+        spec = spec_for(name)
+        cells = " ".join(str(v) for v in vector.values)
+        rows.append([name, f"[{cells}]", spec.unit if spec else ""])
+    for name, histogram in sorted(registry.histograms.items()):
+        spec = spec_for(name)
+        rows.append(
+            [
+                name,
+                (
+                    f"n={histogram.count} mean={_format_value(histogram.mean)}"
+                    f" min={_format_value(histogram.min)}"
+                    f" max={_format_value(histogram.max)}"
+                    f" p95={_format_value(histogram.quantile(0.95))}"
+                ),
+                spec.unit if spec else "",
+            ]
+        )
+    if not rows:
+        return f"{title}\n(no metrics recorded)"
+    headers = ["metric", "value", "unit"]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(3)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("-" * (sum(widths) + 4))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class _TableLike(Protocol):
+    """The ``ResultTable`` surface the JSON exporter relies on."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]]
+    notes: List[str]
+
+
+def table_to_json(table: _TableLike) -> str:
+    """A ``ResultTable`` as a schema'd JSON document.
+
+    Schema: ``{"schema": "repro.result_table/v1", "title": str,
+    "columns": [str], "rows": [[cell]], "notes": [str]}`` — the JSON
+    sibling the benchmark suite writes next to every ``results/*.txt``
+    so downstream tooling can track the perf trajectory without parsing
+    ASCII tables.
+    """
+    payload: Dict[str, Any] = {
+        "schema": "repro.result_table/v1",
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,383 @@
+"""Structured query tracing: spans and events with latency-model clocks.
+
+The paper's claims are statements about *per-disk access distributions*
+("the disk which accesses most pages ... determines the search time"),
+so the unit of observability here is the page-granular event stream of
+one query:
+
+``query_start``
+    a kNN/window query span opens (engine, mode, ``k``, disk count);
+``node_visit``
+    the best-first search pops one index node (directory or data page);
+``page_read``
+    pages are charged to a disk — by construction a **cache miss** when
+    a buffer pool is attached, and exactly the quantity the
+    :class:`~repro.parallel.disks.DiskArray` counts;
+``cache_hit`` / ``cache_miss``
+    a buffer-pool lookup (see :mod:`repro.parallel.cache`); every
+    ``cache_miss`` is followed by the ``page_read`` it causes;
+``prune``
+    a subtree is skipped because its MBR cannot intersect the current
+    kNN sphere (neighbor-rank pruning);
+``query_end``
+    the span closes, carrying the per-disk totals and the busiest-disk
+    time;
+``query_arrival`` / ``query_completion``
+    stream-level events emitted by the event-driven simulator.
+
+Timestamps are **latency-model** times, not wall-clock: a ``page_read``
+on disk *i* is stamped with the simulated time at which disk *i*
+finishes that read (cumulative pages on that disk within the query times
+the page service time) — i.e. the same service-time model the engines
+use for ``parallel_time_ms``.
+
+:class:`NullTracer` (singleton :data:`NULL_TRACER`) is the default
+everywhere: every method is a no-op and ``enabled`` is False, so the
+engines skip event construction entirely and the paper's counters are
+reproduced bit-for-bit.  :class:`RecordingTracer` collects
+:class:`TraceEvent` records in memory and optionally publishes into a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EVENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+]
+
+#: The complete event vocabulary (see docs/observability.md).
+EVENT_KINDS = (
+    "query_start",
+    "node_visit",
+    "page_read",
+    "cache_hit",
+    "cache_miss",
+    "prune",
+    "query_end",
+    "query_arrival",
+    "query_completion",
+)
+
+_CORE_FIELDS = ("seq", "t_ms", "kind", "query", "disk", "pages")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``seq`` is a global emission counter (stable sort key), ``t_ms`` the
+    latency-model timestamp, ``query`` the span id (-1 for events outside
+    any query span), ``disk`` the disk involved (-1 when not
+    disk-specific) and ``pages`` the page quantity moved (0 for purely
+    logical events).  ``data`` carries kind-specific extras
+    (e.g. ``engine``/``mode``/``k`` on ``query_start``).
+    """
+
+    seq: int
+    t_ms: float
+    kind: str
+    query: int = -1
+    disk: int = -1
+    pages: int = 0
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict with stable key order (core fields, then extras)."""
+        record: Dict[str, Any] = {
+            name: getattr(self, name) for name in _CORE_FIELDS
+        }
+        for key in sorted(self.data):
+            record[key] = self.data[key]
+        return record
+
+
+class Tracer:
+    """No-op tracing interface; every engine accepts one.
+
+    Subclasses override the hooks they care about.  Engines guard every
+    emission with ``if tracer.enabled:`` so a disabled tracer costs one
+    attribute read per instrumented site and allocates nothing.
+    """
+
+    #: False on the null tracer; engines skip all emission when False.
+    enabled: bool = False
+
+    def begin_query(
+        self,
+        engine: str,
+        k: int = 0,
+        num_disks: int = 1,
+        mode: Optional[str] = None,
+        service_ms: float = 1.0,
+    ) -> int:
+        """Open a query span; returns the span id (``-1`` when no-op)."""
+        return -1
+
+    def end_query(
+        self,
+        query: int,
+        time_ms: float = 0.0,
+        distance_computations: int = 0,
+    ) -> None:
+        """Close a query span, recording its aggregate costs."""
+
+    def node_visit(self, query: int, disk: int, leaf: bool) -> None:
+        """Best-first search popped one node (data page when ``leaf``)."""
+
+    def page_read(self, query: int, disk: int, pages: int) -> None:
+        """``pages`` pages were charged to ``disk`` (a disk access)."""
+
+    def cache_hit(self, query: int, disk: int, pages: int) -> None:
+        """A buffer-pool request was served from RAM (no disk charge)."""
+
+    def cache_miss(self, query: int, disk: int, pages: int) -> None:
+        """A buffer-pool request missed; a ``page_read`` follows."""
+
+    def prune(self, query: int, disk: int = -1, count: int = 1) -> None:
+        """``count`` subtrees were skipped by the kNN pruning bound."""
+
+    def record(
+        self,
+        kind: str,
+        query: int = -1,
+        disk: int = -1,
+        pages: int = 0,
+        t_ms: Optional[float] = None,
+        **data: Any,
+    ) -> None:
+        """Emit a free-form event (used by the stream simulators)."""
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default: drops everything (``enabled`` False)."""
+
+
+#: Shared no-op tracer instance used as every engine's default.
+NULL_TRACER = NullTracer()
+
+
+class _QuerySpan:
+    """Book-keeping of one open query span."""
+
+    __slots__ = ("service_ms", "pages_per_disk", "clock_ms")
+
+    def __init__(self, service_ms: float):
+        self.service_ms = service_ms
+        self.pages_per_disk: Dict[int, int] = {}
+        self.clock_ms = 0.0
+
+
+class RecordingTracer(Tracer):
+    """Collects :class:`TraceEvent` records, optionally feeding metrics.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to publish
+        counters/histograms into (None records events only).
+
+    The tracer keeps a per-span latency-model clock: within a query,
+    each ``page_read`` advances its disk's simulated time by
+    ``pages * service_ms`` (``service_ms`` is supplied by the engine at
+    :meth:`begin_query`), and non-I/O events are stamped with the
+    busiest-disk time so far — the paper's elapsed-time model.
+    """
+
+    enabled = True
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.events: List[TraceEvent] = []
+        self.metrics = metrics
+        self._seq = itertools.count()
+        self._query_ids = itertools.count()
+        self._spans: Dict[int, _QuerySpan] = {}
+
+    # ------------------------------------------------------------ emission
+
+    def _emit(
+        self,
+        kind: str,
+        query: int,
+        disk: int,
+        pages: int,
+        t_ms: float,
+        data: Optional[Mapping[str, Any]] = None,
+    ) -> TraceEvent:
+        event = TraceEvent(
+            seq=next(self._seq),
+            t_ms=round(float(t_ms), 6),
+            kind=kind,
+            query=query,
+            disk=disk,
+            pages=pages,
+            data=dict(data) if data else {},
+        )
+        self.events.append(event)
+        return event
+
+    def _span_clock(self, query: int) -> float:
+        span = self._spans.get(query)
+        return span.clock_ms if span is not None else 0.0
+
+    # ------------------------------------------------------------ span API
+
+    def begin_query(
+        self,
+        engine: str,
+        k: int = 0,
+        num_disks: int = 1,
+        mode: Optional[str] = None,
+        service_ms: float = 1.0,
+    ) -> int:
+        """Open a span; emits ``query_start`` and counts ``queries_total``."""
+        query = next(self._query_ids)
+        self._spans[query] = _QuerySpan(service_ms)
+        data: Dict[str, Any] = {
+            "engine": engine,
+            "k": k,
+            "num_disks": num_disks,
+        }
+        if mode is not None:
+            data["mode"] = mode
+        self._emit("query_start", query, -1, 0, 0.0, data)
+        if self.metrics is not None:
+            self.metrics.counter("queries_total").inc()
+        return query
+
+    def end_query(
+        self,
+        query: int,
+        time_ms: float = 0.0,
+        distance_computations: int = 0,
+    ) -> None:
+        """Close the span; emits ``query_end`` with per-span totals."""
+        span = self._spans.pop(query, None)
+        pages = span.pages_per_disk if span is not None else {}
+        total = sum(pages.values())
+        busiest_disk, busiest = -1, 0
+        for disk, count in sorted(pages.items()):
+            if count > busiest:
+                busiest_disk, busiest = disk, count
+        t_ms = span.clock_ms if span is not None else 0.0
+        self._emit(
+            "query_end", query, busiest_disk, total, t_ms,
+            {
+                "max_pages": busiest,
+                "time_ms": round(float(time_ms), 6),
+                "distance_computations": distance_computations,
+            },
+        )
+        if self.metrics is not None:
+            self.metrics.histogram("query_total_pages").record(total)
+            self.metrics.histogram("busiest_disk_pages").record(busiest)
+            if total:
+                self.metrics.histogram("busiest_disk_share").record(
+                    busiest / total
+                )
+            self.metrics.histogram("query_time_ms").record(float(time_ms))
+            self.metrics.counter("distance_computations_total").inc(
+                distance_computations
+            )
+
+    # ----------------------------------------------------------- event API
+
+    def node_visit(self, query: int, disk: int, leaf: bool) -> None:
+        """Emit ``node_visit``; counts ``nodes_visited_total``."""
+        self._emit(
+            "node_visit", query, disk, 0, self._span_clock(query),
+            {"leaf": leaf},
+        )
+        if self.metrics is not None:
+            self.metrics.counter("nodes_visited_total").inc()
+
+    def page_read(self, query: int, disk: int, pages: int) -> None:
+        """Advance ``disk``'s span clock and emit ``page_read``."""
+        span = self._spans.get(query)
+        if span is not None:
+            on_disk = span.pages_per_disk.get(disk, 0) + pages
+            span.pages_per_disk[disk] = on_disk
+            t_ms = on_disk * span.service_ms
+            span.clock_ms = max(span.clock_ms, t_ms)
+        else:
+            t_ms = 0.0
+        self._emit("page_read", query, disk, pages, t_ms)
+        if self.metrics is not None:
+            self.metrics.counter("pages_read_total").inc(pages)
+            self.metrics.vector_counter("pages_read_per_disk").inc(
+                disk, pages
+            )
+
+    def cache_hit(self, query: int, disk: int, pages: int) -> None:
+        """Emit ``cache_hit``; counts hit totals (no clock advance)."""
+        self._emit(
+            "cache_hit", query, disk, pages, self._span_clock(query)
+        )
+        if self.metrics is not None:
+            self.metrics.counter("cache_hits_total").inc()
+            self.metrics.vector_counter("cache_hits_per_disk").inc(disk)
+
+    def cache_miss(self, query: int, disk: int, pages: int) -> None:
+        """Emit ``cache_miss``; the matching ``page_read`` follows."""
+        self._emit(
+            "cache_miss", query, disk, pages, self._span_clock(query)
+        )
+        if self.metrics is not None:
+            self.metrics.counter("cache_misses_total").inc()
+            self.metrics.vector_counter("cache_misses_per_disk").inc(disk)
+
+    def prune(self, query: int, disk: int = -1, count: int = 1) -> None:
+        """Emit ``prune``; counts ``buckets_pruned_total``."""
+        self._emit(
+            "prune", query, disk, 0, self._span_clock(query),
+            {"count": count},
+        )
+        if self.metrics is not None:
+            self.metrics.counter("buckets_pruned_total").inc(count)
+
+    def record(
+        self,
+        kind: str,
+        query: int = -1,
+        disk: int = -1,
+        pages: int = 0,
+        t_ms: Optional[float] = None,
+        **data: Any,
+    ) -> None:
+        """Emit a free-form event (simulator arrivals/completions)."""
+        stamp = t_ms if t_ms is not None else self._span_clock(query)
+        self._emit(kind, query, disk, pages, stamp, data)
+
+    # ----------------------------------------------------------- accessors
+
+    def pages_per_disk(self, num_disks: Optional[int] = None) -> List[int]:
+        """Per-disk page totals summed over every ``page_read`` event.
+
+        The oracle contract: this equals the sum of the engines'
+        :class:`~repro.parallel.disks.DiskArray` counters bit-for-bit.
+        """
+        totals: Dict[int, int] = {}
+        for event in self.events:
+            if event.kind == "page_read":
+                totals[event.disk] = totals.get(event.disk, 0) + event.pages
+        size = num_disks if num_disks is not None else (
+            max(totals) + 1 if totals else 0
+        )
+        return [totals.get(disk, 0) for disk in range(size)]
+
+    def clear(self) -> None:
+        """Drop all recorded events (open spans survive)."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -96,6 +96,7 @@ class CacheStats:
 
     @property
     def accesses(self) -> int:
+        """Total page requests (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -205,6 +206,7 @@ class BufferPool:
 
     @property
     def enabled(self) -> bool:
+        """True when the pool can hold at least one page."""
         return self.capacity_pages > 0
 
     def access(self, disk: int, key: Hashable, pages: int = 1) -> bool:
@@ -226,6 +228,7 @@ class BufferPool:
 
     @property
     def evictions(self) -> int:
+        """Pages evicted across all (distinct) per-disk caches."""
         return sum(cache.evictions for cache in self._distinct_caches())
 
     def stats(self) -> CacheStats:

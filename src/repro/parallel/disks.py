@@ -97,6 +97,7 @@ class DiskArray:
         self._pages[disk] += pages
 
     def reset(self) -> None:
+        """Zero every per-disk page counter."""
         self._pages[:] = 0
 
     @property
@@ -106,6 +107,7 @@ class DiskArray:
 
     @property
     def total_pages(self) -> int:
+        """Pages charged across all disks."""
         return int(self._pages.sum())
 
     @property

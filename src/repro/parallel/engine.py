@@ -27,6 +27,14 @@ prebuilt :class:`BufferPool`): hot pages are then served from the pool —
 which persists across queries — and only misses are charged to the disks.
 With no cache (or capacity 0) the cold page counts of the paper's
 measurement are reproduced exactly.
+
+Both engines are instrumented for :mod:`repro.obs`: pass a
+``tracer`` (or wrap the run in :func:`repro.obs.observe`) to receive
+``query_start`` / ``node_visit`` / ``page_read`` / ``cache_hit`` /
+``cache_miss`` / ``prune`` / ``query_end`` events whose per-disk
+``page_read`` totals equal the returned ``pages_per_disk`` counters
+bit-for-bit.  The default :data:`~repro.obs.tracer.NULL_TRACER` emits
+nothing and leaves every counter untouched.
 """
 
 from __future__ import annotations
@@ -49,6 +57,8 @@ from repro.index.node import DEFAULT_PAGE_BYTES, Node
 from repro.index.rstar import RStarTree
 from repro.index.xtree import XTree
 from repro.index.bulk import bulk_load
+from repro.obs.context import current_tracer
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.cache import (
     BufferPool,
     CacheConfig,
@@ -91,6 +101,7 @@ class ParallelQueryResult:
 
     @property
     def total_pages(self) -> int:
+        """Pages read across all disks."""
         return int(self.pages_per_disk.sum())
 
 
@@ -116,6 +127,10 @@ class ParallelEngine:
     ``cache`` attaches a buffer pool (see :mod:`repro.parallel.cache`)
     that persists across queries on this engine; use
     :meth:`reset_cache` to cold-start it.
+
+    ``tracer`` attaches an observability tracer (see :mod:`repro.obs`);
+    when omitted, the ambient :func:`repro.obs.observe` tracer — if any —
+    is used, and otherwise the zero-overhead null tracer.
     """
 
     def __init__(
@@ -124,6 +139,7 @@ class ParallelEngine:
         parameters: Optional[DiskParameters] = None,
         count_directory: bool = False,
         cache: CacheSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
@@ -133,27 +149,48 @@ class ParallelEngine:
         self.cache = as_buffer_pool(
             cache, store.num_disks, store.page_bytes
         )
+        self.tracer = tracer
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
         if self.cache is not None:
             self.cache.reset()
 
-    def _fetch(self, disks: DiskArray, disk: int, node: Node,
-               pages: int) -> None:
+    def _active_tracer(self) -> Tracer:
+        """This engine's tracer, else the ambient one, else the null
+        tracer."""
+        return self.tracer if self.tracer is not None else current_tracer()
+
+    def _fetch(self, disks: DiskArray, disk: int, node: Node, pages: int,
+               tracer: Tracer = NULL_TRACER, span: int = -1) -> None:
         """Serve ``pages`` pages of ``node`` from cache or charge the
-        disk."""
+        disk.
+
+        Emits ``cache_hit``/``cache_miss`` (when a pool is attached) and
+        ``page_read`` for every disk charge.
+        """
         if pages == 0:
             return
-        if self.cache is not None and self.cache.access(
-            disk, id(node), pages
-        ):
-            return
+        if self.cache is not None:
+            if self.cache.access(disk, id(node), pages):
+                if tracer.enabled:
+                    tracer.cache_hit(span, disk, pages)
+                return
+            if tracer.enabled:
+                tracer.cache_miss(span, disk, pages)
         disks.charge(disk, pages)
+        if tracer.enabled:
+            tracer.page_read(span, disk, pages)
 
     def query(
         self, query: Sequence[float], k: int = 1, mode: str = "coordinated"
     ) -> ParallelQueryResult:
+        """Run one kNN query in the given execution mode.
+
+        Under an enabled tracer this emits a full query span
+        (``query_start`` ... ``query_end``) with per-disk ``page_read``
+        events matching the returned ``pages_per_disk`` exactly.
+        """
         if mode == "coordinated":
             return self._query_coordinated(query, k)
         if mode == "independent":
@@ -170,6 +207,14 @@ class ParallelEngine:
         query = np.asarray(query, dtype=float)
         disks = DiskArray(self.store.num_disks, self.parameters)
         cache_before = self.cache.stats() if self.cache else None
+        tracer = self._active_tracer()
+        span = -1
+        if tracer.enabled:
+            span = tracer.begin_query(
+                "parallel", k=k, num_disks=self.store.num_disks,
+                mode="coordinated",
+                service_ms=self.parameters.page_service_time_ms,
+            )
         candidates = _CandidateSet(k)
         stats = SearchStats()
         tiebreak = itertools.count()
@@ -180,9 +225,14 @@ class ParallelEngine:
         while queue:
             mindist, _, disk, node = heapq.heappop(queue)
             if mindist > candidates.bound:
+                if tracer.enabled:
+                    # Everything still queued is outside the kNN sphere.
+                    tracer.prune(span, disk, count=len(queue) + 1)
                 break
+            if tracer.enabled:
+                tracer.node_visit(span, disk, leaf=node.is_leaf)
             if node.is_leaf or self.count_directory:
-                self._fetch(disks, disk, node, node.blocks)
+                self._fetch(disks, disk, node, node.blocks, tracer, span)
             if node.is_leaf:
                 if node.entries:
                     sq, entries = _leaf_distances(node, query, stats)
@@ -198,6 +248,13 @@ class ParallelEngine:
                             queue,
                             (child_mindist, next(tiebreak), disk, child),
                         )
+                    elif tracer.enabled:
+                        tracer.prune(span, disk)
+        if tracer.enabled:
+            tracer.end_query(
+                span, time_ms=disks.parallel_time_ms,
+                distance_computations=stats.distance_computations,
+            )
         return ParallelQueryResult(
             neighbors=candidates.neighbors(),
             pages_per_disk=disks.pages_per_disk,
@@ -222,12 +279,20 @@ class ParallelEngine:
         query = np.asarray(query, dtype=float)
         disks = DiskArray(self.store.num_disks, self.parameters)
         cache_before = self.cache.stats() if self.cache else None
+        tracer = self._active_tracer()
+        span = -1
+        if tracer.enabled:
+            span = tracer.begin_query(
+                "parallel", k=k, num_disks=self.store.num_disks,
+                mode="independent",
+                service_ms=self.parameters.page_service_time_ms,
+            )
         merged = _CandidateSet(k)
         distance_computations = 0
         for disk, tree in enumerate(self.store.trees):
             if not tree.size:
                 continue
-            if self.cache is None:
+            if self.cache is None and not tracer.enabled:
                 neighbors, stats = knn_best_first(tree, query, k)
                 pages = (
                     stats.page_accesses
@@ -237,9 +302,15 @@ class ParallelEngine:
                 disks.charge(disk, pages)
             else:
                 # Per-node trace so each page can be looked up in the
-                # pool; the aggregate equals the uncached charge above.
+                # pool (and traced); the aggregate equals the uncached
+                # charge above.
                 def on_node(node: Node, disk: int = disk) -> None:
-                    self._fetch(disks, disk, node, self._node_pages(node))
+                    if tracer.enabled:
+                        tracer.node_visit(span, disk, leaf=node.is_leaf)
+                    self._fetch(
+                        disks, disk, node, self._node_pages(node),
+                        tracer, span,
+                    )
 
                 neighbors, stats = knn_best_first(
                     tree, query, k, on_node=on_node
@@ -249,6 +320,11 @@ class ParallelEngine:
                 merged.offer(
                     neighbor.distance**2, neighbor.oid, neighbor.point
                 )
+        if tracer.enabled:
+            tracer.end_query(
+                span, time_ms=disks.parallel_time_ms,
+                distance_computations=distance_computations,
+            )
         return ParallelQueryResult(
             neighbors=merged.neighbors(),
             pages_per_disk=disks.pages_per_disk,
@@ -277,6 +353,7 @@ class SequentialEngine:
         tree: Optional[RStarTree] = None,
         count_directory: bool = False,
         cache: CacheSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.parameters = parameters or DiskParameters(page_bytes=page_bytes)
         self.count_directory = count_directory
@@ -287,19 +364,40 @@ class SequentialEngine:
                 points, oids=oids, tree_cls=tree_cls, page_bytes=page_bytes
             )
         self.cache = as_buffer_pool(cache, 1, page_bytes)
+        self.tracer = tracer
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
         if self.cache is not None:
             self.cache.reset()
 
+    def _active_tracer(self) -> Tracer:
+        """This engine's tracer, else the ambient one, else the null
+        tracer."""
+        return self.tracer if self.tracer is not None else current_tracer()
+
     def _node_pages(self, node: Node) -> int:
+        """Pages this engine's accounting charges for one node visit."""
         if self.count_directory:
             return node.blocks
         return 1 if node.is_leaf else 0
 
     def query(self, query: Sequence[float], k: int = 1) -> SequentialQueryResult:
-        if self.cache is None:
+        """Run one kNN query against the single-disk index.
+
+        Under an enabled tracer this emits a ``query_start`` ...
+        ``query_end`` span whose ``page_read`` events (all on disk 0)
+        total exactly ``result.pages``; cache lookups additionally emit
+        ``cache_hit``/``cache_miss``.
+        """
+        tracer = self._active_tracer()
+        span = -1
+        if tracer.enabled:
+            span = tracer.begin_query(
+                "sequential", k=k, num_disks=1,
+                service_ms=self.parameters.page_service_time_ms,
+            )
+        if self.cache is None and not tracer.enabled:
             neighbors, stats = knn_best_first(self.tree, query, k)
             pages = (
                 stats.page_accesses
@@ -308,22 +406,39 @@ class SequentialEngine:
             )
             cache_stats = None
         else:
-            cache_before = self.cache.stats()
+            cache_before = self.cache.stats() if self.cache else None
             charged = [0]
 
             def on_node(node: Node) -> None:
                 node_pages = self._node_pages(node)
-                if node_pages and not self.cache.access(
-                    0, id(node), node_pages
-                ):
-                    charged[0] += node_pages
+                if tracer.enabled:
+                    tracer.node_visit(span, 0, leaf=node.is_leaf)
+                if not node_pages:
+                    return
+                if self.cache is not None:
+                    if self.cache.access(0, id(node), node_pages):
+                        if tracer.enabled:
+                            tracer.cache_hit(span, 0, node_pages)
+                        return
+                    if tracer.enabled:
+                        tracer.cache_miss(span, 0, node_pages)
+                charged[0] += node_pages
+                if tracer.enabled:
+                    tracer.page_read(span, 0, node_pages)
 
             neighbors, stats = knn_best_first(
                 self.tree, query, k, on_node=on_node
             )
             pages = charged[0]
-            cache_stats = self.cache.delta_since(cache_before)
+            cache_stats = (
+                self.cache.delta_since(cache_before) if self.cache else None
+            )
         time_ms = pages * self.parameters.page_service_time_ms
+        if tracer.enabled:
+            tracer.end_query(
+                span, time_ms=time_ms,
+                distance_computations=stats.distance_computations,
+            )
         return SequentialQueryResult(
             neighbors, stats, time_ms, pages, cache_stats
         )

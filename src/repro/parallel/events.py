@@ -22,6 +22,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.context import current_metrics, current_tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.parallel.cache import BufferPool, CacheStats
 from repro.parallel.disks import DiskParameters
 from repro.parallel.engine import CacheSpec
@@ -72,23 +75,27 @@ class EventSimReport:
 
     @property
     def mean_latency_ms(self) -> float:
+        """Average query latency over the stream."""
         return float(self.latencies_ms.mean()) if len(self.latencies_ms) \
             else 0.0
 
     @property
     def p95_latency_ms(self) -> float:
+        """95th-percentile query latency over the stream."""
         if not len(self.latencies_ms):
             return 0.0
         return float(np.quantile(self.latencies_ms, 0.95))
 
     @property
     def throughput_qps(self) -> float:
+        """Completed queries per simulated second."""
         if self.completion_ms <= 0:
             return float("inf")
         return len(self.latencies_ms) / (self.completion_ms / 1000.0)
 
     @property
     def utilization(self) -> np.ndarray:
+        """Per-disk busy fraction of the total completion time."""
         busy = self.pages_per_disk * self.page_service_time_ms
         if self.completion_ms <= 0:
             return np.zeros_like(busy, dtype=float)
@@ -103,35 +110,75 @@ class EventDrivenSimulator:
         store: PagedStore,
         parameters: Optional[DiskParameters] = None,
         cache: CacheSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
             page_bytes=store.page_bytes
         )
-        self._engine = PagedEngine(store, self.parameters, cache=cache)
+        self._engine = PagedEngine(
+            store, self.parameters, cache=cache, tracer=tracer
+        )
+        self.tracer = tracer
 
     @property
     def cache(self) -> Optional[BufferPool]:
         """The engine's buffer pool (None when caching is off)."""
         return self._engine.cache
 
-    def run(self, arrivals: Sequence[QueryArrival]) -> EventSimReport:
+    def _active_tracer(self) -> Tracer:
+        """This simulator's tracer, else the ambient one, else the null
+        tracer."""
+        return self.tracer if self.tracer is not None else current_tracer()
+
+    def _resolve_metrics(
+        self, metrics: Optional[MetricsRegistry]
+    ) -> Optional[MetricsRegistry]:
+        """Explicit registry, else the ambient one, else the tracer's."""
+        if metrics is not None:
+            return metrics
+        ambient = current_metrics()
+        if ambient is not None:
+            return ambient
+        return getattr(self.tracer, "metrics", None)
+
+    def run(
+        self,
+        arrivals: Sequence[QueryArrival],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> EventSimReport:
         """Process arrivals in time order; returns the stream metrics.
 
         With a buffer pool, each arrival only queues its cache *misses*
         at the disks — a stream with locality stays unsaturated far past
         the cold-cache capacity limit.
+
+        Under an enabled tracer each query's per-page events come from
+        the inner engine, bracketed by ``query_arrival`` /
+        ``query_completion`` records stamped with the *stream* clock
+        (arrival and drain time).  Stream aggregates
+        (``stream_latency_ms`` per query, ``disk_utilization`` per disk)
+        are published into ``metrics`` — or the ambient registry of an
+        enclosing :func:`repro.obs.context.observe` block — when one is
+        present.
         """
         arrivals = sorted(arrivals, key=lambda a: a.time_ms)
         t_page = self.parameters.page_service_time_ms
         num_disks = self.store.num_disks
+        tracer = self._active_tracer()
+        traced = tracer.enabled
         cache = self._engine.cache
         cache_before = cache.stats() if cache else None
         disk_free = np.zeros(num_disks)
         totals = np.zeros(num_disks, dtype=np.int64)
         latencies = []
         completion = 0.0
-        for arrival in arrivals:
+        for index, arrival in enumerate(arrivals):
+            if traced:
+                tracer.record(
+                    "query_arrival", query=index, t_ms=arrival.time_ms,
+                    k=arrival.k,
+                )
             demand = self._engine.query(arrival.query, arrival.k)
             pages = demand.pages_per_disk
             totals += pages
@@ -143,13 +190,18 @@ class EventDrivenSimulator:
                 finish = max(finish, end)
             latencies.append(finish - arrival.time_ms)
             completion = max(completion, finish)
+            if traced:
+                tracer.record(
+                    "query_completion", query=index, t_ms=finish,
+                    latency_ms=finish - arrival.time_ms,
+                )
         duration_s = (
             (arrivals[-1].time_ms - arrivals[0].time_ms) / 1000.0
             if len(arrivals) > 1
             else 0.0
         )
         offered = len(arrivals) / duration_s if duration_s > 0 else 0.0
-        return EventSimReport(
+        report = EventSimReport(
             latencies_ms=np.array(latencies),
             completion_ms=completion,
             pages_per_disk=totals,
@@ -159,3 +211,12 @@ class EventDrivenSimulator:
                 cache.delta_since(cache_before) if cache else None
             ),
         )
+        registry = self._resolve_metrics(metrics)
+        if registry is not None:
+            latency_hist = registry.histogram("stream_latency_ms")
+            for latency in latencies:
+                latency_hist.record(float(latency))
+            utilization = registry.histogram("disk_utilization")
+            for value in report.utilization:
+                utilization.record(float(value))
+        return report

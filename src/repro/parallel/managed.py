@@ -122,10 +122,12 @@ class ManagedStore:
 
     @property
     def store(self) -> DeclusteredStore:
+        """The current (possibly reorganized) declustered store."""
         return self._store
 
     @property
     def reorganizations(self) -> int:
+        """How many reorganizations have run so far."""
         return len(self.events)
 
     def insert(self, point: Sequence[float], oid: int) -> None:

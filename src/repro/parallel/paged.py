@@ -32,6 +32,8 @@ from repro.index.knn import SearchStats, _CandidateSet, _leaf_distances
 from repro.index.node import DEFAULT_PAGE_BYTES, Node
 from repro.index.rstar import RStarTree
 from repro.index.xtree import XTree
+from repro.obs.context import current_tracer
+from repro.obs.tracer import Tracer
 from repro.parallel.cache import CacheConfig, as_buffer_pool
 from repro.parallel.disks import DiskArray, DiskParameters
 from repro.parallel.engine import CacheSpec, ParallelQueryResult
@@ -190,6 +192,7 @@ class PagedEngine:
         store: PagedStore,
         parameters: Optional[DiskParameters] = None,
         cache: CacheSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
@@ -198,11 +201,17 @@ class PagedEngine:
         if cache is None:
             cache = store.cache_config
         self.cache = as_buffer_pool(cache, store.num_disks, store.page_bytes)
+        self.tracer = tracer
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
         if self.cache is not None:
             self.cache.reset()
+
+    def _active_tracer(self) -> Tracer:
+        """This engine's tracer, else the ambient one, else the null
+        tracer."""
+        return self.tracer if self.tracer is not None else current_tracer()
 
     def query_batch(
         self, queries: np.ndarray, k: int = 1
@@ -211,13 +220,32 @@ class PagedEngine:
         return [self.query(query, k) for query in np.atleast_2d(queries)]
 
     def query(self, query: Sequence[float], k: int = 1) -> ParallelQueryResult:
+        """Run one kNN query over the shared directory.
+
+        Under an enabled tracer this emits a ``query_start`` ...
+        ``query_end`` span: ``node_visit`` per popped node (directory
+        nodes carry ``disk=-1`` — they are RAM-resident), ``page_read``
+        (plus ``cache_hit``/``cache_miss`` when a pool is attached) per
+        data page, and ``prune`` when the best-first bound cuts the
+        queue or skips a child subtree.
+        """
         query = np.asarray(query, dtype=float)
+        tracer = self._active_tracer()
+        traced = tracer.enabled
+        span = -1
+        if traced:
+            span = tracer.begin_query(
+                "paged", k=k, num_disks=self.store.num_disks,
+                service_ms=self.parameters.page_service_time_ms,
+            )
         disks = DiskArray(self.store.num_disks, self.parameters)
         cache_before = self.cache.stats() if self.cache else None
         candidates = _CandidateSet(k)
         stats = SearchStats()
         tree = self.store.tree
         if tree.size == 0:
+            if traced:
+                tracer.end_query(span)
             return ParallelQueryResult(
                 [], disks.pages_per_disk, 0.0, 0,
                 cache_stats=(
@@ -232,14 +260,25 @@ class PagedEngine:
         while queue:
             mindist, _, node = heapq.heappop(queue)
             if mindist > candidates.bound:
+                if traced:
+                    tracer.prune(span, count=len(queue) + 1)
                 break
             if node.is_leaf:
                 # Data page: served from the pool if hot, else fetched
                 # from its disk.
                 disk = self.store.disk_of(node)
-                if self.cache is None or not self.cache.access(
+                if traced:
+                    tracer.node_visit(span, disk, leaf=True)
+                if self.cache is not None and self.cache.access(
                     disk, id(node), node.blocks
                 ):
+                    if traced:
+                        tracer.cache_hit(span, disk, node.blocks)
+                else:
+                    if traced:
+                        if self.cache is not None:
+                            tracer.cache_miss(span, disk, node.blocks)
+                        tracer.page_read(span, disk, node.blocks)
                     disks.charge(disk, node.blocks)
                 if node.entries:
                     sq, entries = _leaf_distances(node, query, stats)
@@ -249,12 +288,21 @@ class PagedEngine:
                         )
             else:
                 # Directory page: served from the shared cached directory.
+                if traced:
+                    tracer.node_visit(span, -1, leaf=False)
                 for child in node.entries:
                     child_mindist = child.mbr.mindist(query)
                     if child_mindist <= candidates.bound:
                         heapq.heappush(
                             queue, (child_mindist, next(tiebreak), child)
                         )
+                    elif traced:
+                        tracer.prune(span)
+        if traced:
+            tracer.end_query(
+                span, time_ms=disks.parallel_time_ms,
+                distance_computations=stats.distance_computations,
+            )
         return ParallelQueryResult(
             neighbors=candidates.neighbors(),
             pages_per_disk=disks.pages_per_disk,

@@ -20,11 +20,15 @@ workload dominates — the throughput ablation quantifies the difference.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from repro.obs.context import current_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.parallel.cache import BufferPool, CacheStats
 from repro.parallel.disks import DiskParameters
 from repro.parallel.engine import CacheSpec
@@ -87,24 +91,51 @@ class ThroughputSimulator:
         store: PagedStore,
         parameters: Optional[DiskParameters] = None,
         cache: CacheSpec = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
             page_bytes=store.page_bytes
         )
-        self._engine = PagedEngine(store, self.parameters, cache=cache)
+        self._engine = PagedEngine(
+            store, self.parameters, cache=cache, tracer=tracer
+        )
+        self.tracer = tracer
 
     @property
     def cache(self) -> Optional[BufferPool]:
         """The engine's buffer pool (None when caching is off)."""
         return self._engine.cache
 
-    def run(self, queries: np.ndarray, k: int = 10) -> ThroughputReport:
+    def _resolve_metrics(
+        self, metrics: Optional[MetricsRegistry]
+    ) -> Optional[MetricsRegistry]:
+        """Explicit registry, else the ambient one, else the tracer's."""
+        if metrics is not None:
+            return metrics
+        ambient = current_metrics()
+        if ambient is not None:
+            return ambient
+        return getattr(self.tracer, "metrics", None)
+
+    def run(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> ThroughputReport:
         """Simulate the concurrent execution of ``queries``.
 
         The buffer pool (if any) persists across the batch: later queries
         hit the pages earlier queries pulled in, so only misses queue up
         at the disks.
+
+        Per-query trace events come from the inner
+        :class:`~repro.parallel.paged.PagedEngine`; batch aggregates
+        (``makespan_ms``, ``throughput_qps``, ``mean_latency_ms``,
+        ``disk_utilization``) are published into ``metrics`` — or the
+        ambient registry of an enclosing
+        :func:`repro.obs.context.observe` block — when one is present.
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
         t_page = self.parameters.page_service_time_ms
@@ -130,7 +161,7 @@ class ThroughputSimulator:
         for own in per_query_pages:
             busy = np.where(own > 0, totals * t_page, 0.0)
             latencies.append(float(busy.max()) if busy.size else 0.0)
-        return ThroughputReport(
+        report = ThroughputReport(
             num_queries=len(queries),
             makespan_ms=makespan,
             mean_latency_ms=float(np.mean(latencies)) if latencies else 0.0,
@@ -140,3 +171,17 @@ class ThroughputSimulator:
                 cache.delta_since(cache_before) if cache else None
             ),
         )
+        registry = self._resolve_metrics(metrics)
+        if registry is not None:
+            registry.histogram("makespan_ms").record(report.makespan_ms)
+            if math.isfinite(report.throughput_qps):
+                registry.histogram("throughput_qps").record(
+                    report.throughput_qps
+                )
+            registry.histogram("mean_latency_ms").record(
+                report.mean_latency_ms
+            )
+            utilization = registry.histogram("disk_utilization")
+            for value in report.utilization:
+                utilization.record(float(value))
+        return report

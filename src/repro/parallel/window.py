@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.index.mbr import MBR
 from repro.index.node import LeafEntry
+from repro.obs.context import current_tracer
+from repro.obs.tracer import Tracer
 from repro.parallel.disks import DiskArray, DiskParameters
 from repro.parallel.paged import PagedStore
 
@@ -38,10 +40,12 @@ class WindowQueryResult:
 
     @property
     def max_pages(self) -> int:
+        """Pages fetched by the busiest disk."""
         return int(self.pages_per_disk.max())
 
     @property
     def total_pages(self) -> int:
+        """Pages fetched across all disks."""
         return int(self.pages_per_disk.sum())
 
 
@@ -50,15 +54,30 @@ def parallel_window_query(
     low: Sequence[float],
     high: Sequence[float],
     parameters: Optional[DiskParameters] = None,
+    tracer: Optional[Tracer] = None,
 ) -> WindowQueryResult:
     """All points in ``[low, high]``, with per-disk page accounting.
 
     Directory traversal is served from the shared cached directory; every
     intersecting data page is charged to its disk, and the query's elapsed
     time is the busiest disk's page count times the page service time.
+
+    Under an enabled tracer (explicit argument or ambient
+    :func:`repro.obs.context.observe`) the traversal emits a
+    ``query_start`` ... ``query_end`` span with ``node_visit`` per
+    intersecting node (directory nodes carry ``disk=-1``), ``page_read``
+    per data page, and ``prune`` per non-intersecting subtree.
     """
     window = MBR(low, high)
     parameters = parameters or DiskParameters(page_bytes=store.page_bytes)
+    active = tracer if tracer is not None else current_tracer()
+    traced = active.enabled
+    span = -1
+    if traced:
+        span = active.begin_query(
+            "window", num_disks=store.num_disks,
+            service_ms=parameters.page_service_time_ms,
+        )
     disks = DiskArray(store.num_disks, parameters)
     entries: List[LeafEntry] = []
     if store.tree.size:
@@ -66,16 +85,26 @@ def parallel_window_query(
         while stack:
             node = stack.pop()
             if node.mbr is None or not node.mbr.intersects(window):
+                if traced:
+                    active.prune(span)
                 continue
             if node.is_leaf:
-                disks.charge(store.disk_of(node), node.blocks)
+                disk = store.disk_of(node)
+                if traced:
+                    active.node_visit(span, disk, leaf=True)
+                    active.page_read(span, disk, node.blocks)
+                disks.charge(disk, node.blocks)
                 entries.extend(
                     entry
                     for entry in node.entries
                     if window.contains_point(entry.point)
                 )
             else:
+                if traced:
+                    active.node_visit(span, -1, leaf=False)
                 stack.extend(node.entries)
+    if traced:
+        active.end_query(span, time_ms=disks.parallel_time_ms)
     return WindowQueryResult(
         entries=entries,
         pages_per_disk=disks.pages_per_disk,

@@ -26,7 +26,13 @@ from repro.core.optimal import GraphColoringDeclusterer
 from repro.core.recursive import RecursiveDeclusterer
 from repro.core.vertex_coloring import NearOptimalDeclusterer
 
-__all__ = ["DECLUSTERERS", "available_schemes", "make_declusterer"]
+__all__ = [
+    "DECLUSTERERS",
+    "SCHEME_ALIASES",
+    "available_schemes",
+    "resolve_scheme",
+    "make_declusterer",
+]
 
 #: Scheme name (as used in figures and reports) -> implementing class.
 DECLUSTERERS: Dict[str, Type[Declusterer]] = {
@@ -39,10 +45,33 @@ DECLUSTERERS: Dict[str, Type[Declusterer]] = {
     HilbertDeclusterer.name: HilbertDeclusterer,
 }
 
+#: Convenience spellings accepted wherever a scheme name is —
+#: ``col`` is the paper's name for the near-optimal coloring scheme.
+SCHEME_ALIASES: Dict[str, str] = {
+    "col": NearOptimalDeclusterer.name,
+    "col+rec": RecursiveDeclusterer.name,
+    "opt": GraphColoringDeclusterer.name,
+    "rr": RoundRobinDeclusterer.name,
+    "dm": DiskModuloDeclusterer.name,
+    "fx": FXDeclusterer.name,
+    "hil": HilbertDeclusterer.name,
+}
+
 
 def available_schemes() -> Tuple[str, ...]:
     """Registered scheme names, in registry order."""
     return tuple(DECLUSTERERS)
+
+
+def resolve_scheme(scheme: str) -> str:
+    """Canonical registry key for ``scheme`` (aliases resolved).
+
+    >>> resolve_scheme("col")
+    'new'
+    >>> resolve_scheme("DM")
+    'DM'
+    """
+    return SCHEME_ALIASES.get(scheme, scheme)
 
 
 def make_declusterer(
@@ -52,11 +81,15 @@ def make_declusterer(
 
     Extra keyword arguments are forwarded to the scheme's constructor
     (e.g. ``split_values`` for bucket declusterers, ``alpha`` for the
-    recursive scheme).
+    recursive scheme).  Aliases from :data:`SCHEME_ALIASES` (``col``,
+    ``hil``, ...) resolve to their registered scheme.
 
     >>> make_declusterer("DM", dimension=3, num_disks=4).name
     'DM'
+    >>> make_declusterer("col", dimension=3, num_disks=4).name
+    'new'
     """
+    scheme = resolve_scheme(scheme)
     try:
         cls = DECLUSTERERS[scheme]
     except KeyError:

@@ -61,3 +61,56 @@ class TestCommands:
                      "--scale", "0.05"]) == 0
         out = capsys.readouterr().out
         assert "coordinated" in out
+
+
+class TestObservabilityCommands:
+    SMALL = ["--d", "4", "--disks", "4", "--n", "200", "--queries", "2"]
+
+    def test_trace_emits_jsonl(self, capsys):
+        import json
+
+        assert main(["trace", "--scheme", "col", *self.SMALL]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "query_start"
+        assert any(r["kind"] == "page_read" for r in records)
+        assert records[-1]["kind"] == "query_end"
+
+    def test_trace_csv_to_file(self, capsys, tmp_path):
+        out = tmp_path / "trace.csv"
+        assert main(["trace", *self.SMALL, "--format", "csv",
+                     "--out", str(out)]) == 0
+        assert out.read_text().startswith("seq,t_ms,kind,")
+
+    def test_trace_accepts_scheme_alias_and_cache(self, capsys):
+        assert main(["trace", "--scheme", "RR", "--engine", "item",
+                     "--cache-pages", "8", *self.SMALL]) == 0
+        assert "cache_miss" in capsys.readouterr().out
+
+    def test_unknown_scheme_is_rejected_cleanly(self, capsys):
+        assert main(["trace", "--scheme", "nonsense", *self.SMALL]) == 2
+        assert "unknown declustering scheme" in capsys.readouterr().err
+        assert main(["stats", "--scheme", "nonsense", *self.SMALL]) == 2
+        assert "unknown declustering scheme" in capsys.readouterr().err
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "pages_read_total" in out
+        assert "queries_total" in out
+
+    def test_stats_json_to_file(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main(["stats", *self.SMALL, "--format", "json",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["counters"]["queries_total"] == 2
+
+    def test_figures_trace_out(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(["figures", "--run", "fig02", "--scale", "0.05",
+                     "--trace-out", str(out)]) == 0
+        assert out.exists()
+        assert "trace events written" in capsys.readouterr().out

@@ -1,0 +1,58 @@
+"""Documentation health checks.
+
+Runs the same checks as the CI ``docs`` job: every relative markdown
+link in the repo's documentation set resolves, and the generated metric
+catalogue in ``docs/observability.md`` matches the code (the latter is
+covered in ``tests/test_obs.py``).
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from check_markdown_links import (  # noqa: E402
+    default_files,
+    find_broken_links,
+    main,
+)
+
+
+class TestRepoDocs:
+    def test_no_broken_relative_links(self):
+        broken = find_broken_links(default_files(REPO_ROOT))
+        assert broken == [], "\n".join(
+            f"{path}:{line}: {target}" for path, line, target in broken
+        )
+
+    def test_docs_set_includes_the_core_documents(self):
+        names = {path.name for path in default_files(REPO_ROOT)}
+        assert {"README.md", "DESIGN.md", "observability.md",
+                "linting.md"} <= names
+
+
+class TestFindBrokenLinks:
+    def test_detects_dangling_relative_link(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](nowhere.md) for details\n")
+        broken = find_broken_links([doc])
+        assert broken == [(doc, 1, "nowhere.md")]
+
+    def test_resolving_link_anchor_and_external_pass(self, tmp_path):
+        (tmp_path / "other.md").write_text("# other\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](other.md) [anchored](other.md#section) [self](#here)\n"
+            "[web](https://example.com/x.md) ![img](other.md)\n"
+        )
+        assert find_broken_links([doc]) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("[self](#top)\n")
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.md"
+        bad.write_text("[gone](missing/file.md)\n")
+        assert main([str(bad)]) == 1
+        assert "broken link" in capsys.readouterr().out

@@ -1,0 +1,314 @@
+"""Tests for the observability layer (repro.obs).
+
+Covers the tracer's latency-model timestamps, the strict metrics
+registry, the exporters (byte-for-byte against golden files under
+``tests/golden/``), the ambient observation context, and the generated
+metric catalogue's sync with ``docs/observability.md``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.harness import ResultTable
+from repro.obs import (
+    EVENT_KINDS,
+    METRIC_CATALOGUE,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    catalogue_names,
+    current_metrics,
+    current_tracer,
+    events_to_csv,
+    events_to_jsonl,
+    metrics_to_csv,
+    metrics_to_json,
+    observe,
+    spec_for,
+    summary_table,
+    table_to_json,
+)
+from repro.obs.catalogue import BEGIN_MARKER, END_MARKER, render_catalogue
+from repro.obs.catalogue import main as catalogue_main
+from repro.obs.catalogue import verify as catalogue_verify
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+OBSERVABILITY_MD = REPO_ROOT / "docs" / "observability.md"
+
+
+def scripted_tracer() -> RecordingTracer:
+    """A fixed two-disk query span exercising every span-level event."""
+    tracer = RecordingTracer(metrics=MetricsRegistry())
+    span = tracer.begin_query("paged", k=2, num_disks=2, service_ms=10.0)
+    tracer.node_visit(span, -1, leaf=False)
+    tracer.cache_miss(span, 0, 1)
+    tracer.page_read(span, 0, 1)
+    tracer.cache_hit(span, 1, 1)
+    tracer.page_read(span, 1, 2)
+    tracer.prune(span, count=3)
+    tracer.end_query(span, time_ms=20.0, distance_computations=7)
+    return tracer
+
+
+class TestTraceEvent:
+    def test_to_dict_core_fields_first_then_sorted_extras(self):
+        event = TraceEvent(
+            seq=3, t_ms=1.5, kind="query_start", query=0, disk=-1,
+            pages=0, data={"mode": "coordinated", "engine": "parallel"},
+        )
+        assert list(event.to_dict()) == [
+            "seq", "t_ms", "kind", "query", "disk", "pages",
+            "engine", "mode",
+        ]
+
+    def test_event_kinds_vocabulary_is_complete(self):
+        tracer = scripted_tracer()
+        tracer.record("query_arrival", query=0, t_ms=0.0)
+        tracer.record("query_completion", query=0, t_ms=1.0)
+        emitted = {event.kind for event in tracer.events}
+        assert emitted == set(EVENT_KINDS)
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.begin_query("paged") == -1
+        # Every hook is a no-op returning None.
+        tracer.node_visit(0, 0, leaf=True)
+        tracer.page_read(0, 0, 1)
+        tracer.cache_hit(0, 0, 1)
+        tracer.cache_miss(0, 0, 1)
+        tracer.prune(0)
+        tracer.end_query(0)
+        tracer.record("query_arrival")
+
+    def test_singleton_is_shared(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert current_tracer() is NULL_TRACER
+
+
+class TestRecordingTracer:
+    def test_latency_model_timestamps(self):
+        tracer = scripted_tracer()
+        by_kind = {}
+        for event in tracer.events:
+            by_kind.setdefault(event.kind, []).append(event)
+        # First read on disk 0: 1 page * 10 ms; second read puts 2 pages
+        # on disk 1 -> 20 ms busiest-disk clock.
+        assert [e.t_ms for e in by_kind["page_read"]] == [10.0, 20.0]
+        assert by_kind["prune"][0].t_ms == 20.0
+        end = by_kind["query_end"][0]
+        assert end.t_ms == 20.0
+        assert end.disk == 1  # busiest disk
+        assert end.pages == 3  # total pages
+        assert end.data["max_pages"] == 2
+
+    def test_pages_per_disk_oracle_accessor(self):
+        tracer = scripted_tracer()
+        assert tracer.pages_per_disk() == [1, 2]
+        assert tracer.pages_per_disk(4) == [1, 2, 0, 0]
+
+    def test_metrics_publication(self):
+        registry = scripted_tracer().metrics
+        assert registry.counter("queries_total").value == 1
+        assert registry.counter("pages_read_total").value == 3
+        assert registry.counter("nodes_visited_total").value == 1
+        assert registry.counter("buckets_pruned_total").value == 3
+        assert registry.counter("cache_hits_total").value == 1
+        assert registry.counter("cache_misses_total").value == 1
+        assert registry.counter("distance_computations_total").value == 7
+        assert registry.vector_counter("pages_read_per_disk").values == [1, 2]
+        assert registry.histogram("query_total_pages").mean == 3.0
+        assert registry.histogram("busiest_disk_pages").max == 2.0
+        assert registry.cache_hit_ratio() == 0.5
+
+    def test_clear_and_len(self):
+        tracer = scripted_tracer()
+        assert len(tracer) == 8
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.pages_per_disk() == []
+
+    def test_spans_are_independent(self):
+        tracer = RecordingTracer()
+        first = tracer.begin_query("a", service_ms=1.0)
+        second = tracer.begin_query("b", service_ms=5.0)
+        tracer.page_read(first, 0, 2)
+        tracer.page_read(second, 0, 1)
+        reads = [e for e in tracer.events if e.kind == "page_read"]
+        assert reads[0].t_ms == 2.0  # 2 pages * 1 ms on span "a"
+        assert reads[1].t_ms == 5.0  # 1 page * 5 ms on span "b"
+
+
+class TestMetricsRegistry:
+    def test_strict_rejects_unknown_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            registry.counter("no_such_metric")
+
+    def test_strict_rejects_kind_mismatch(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("query_time_ms")  # catalogued as histogram
+
+    def test_non_strict_allows_ad_hoc_names(self):
+        registry = MetricsRegistry(strict=False)
+        registry.counter("experimental_total").inc(2)
+        assert registry.counter("experimental_total").value == 2
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("queries_total") is registry.counter(
+            "queries_total"
+        )
+
+    def test_vector_counter_grows_on_demand(self):
+        registry = MetricsRegistry()
+        vector = registry.vector_counter("pages_read_per_disk")
+        vector.inc(3, 5)
+        assert vector.values == [0, 0, 0, 5]
+        assert vector.total == 5
+
+    def test_histogram_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("query_time_ms")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.quantile(0.5) == 2.0
+
+    def test_catalogue_is_closed_under_spec_lookup(self):
+        for name in catalogue_names():
+            spec = spec_for(name)
+            assert spec is not None and spec.name == name
+        assert spec_for("no_such_metric") is None
+        assert len(METRIC_CATALOGUE) == len(set(catalogue_names()))
+
+    def test_as_dict_snapshot(self):
+        registry = scripted_tracer().metrics
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["pages_read_total"] == 3
+        assert snapshot["vectors"]["pages_read_per_disk"] == [1, 2]
+        assert snapshot["histograms"]["query_total_pages"]["count"] == 1
+        assert snapshot["derived"]["cache_hit_ratio"] == 0.5
+
+
+class TestExporters:
+    def golden(self, name: str) -> str:
+        return (GOLDEN_DIR / name).read_text().rstrip("\n")
+
+    def test_jsonl_matches_golden(self):
+        assert events_to_jsonl(scripted_tracer().events) == self.golden(
+            "trace.jsonl"
+        )
+
+    def test_csv_matches_golden(self):
+        assert events_to_csv(scripted_tracer().events) == self.golden(
+            "trace.csv"
+        )
+
+    def test_metrics_json_matches_golden(self):
+        assert metrics_to_json(scripted_tracer().metrics) == self.golden(
+            "metrics.json"
+        )
+
+    def test_metrics_csv_matches_golden(self):
+        assert metrics_to_csv(scripted_tracer().metrics) == self.golden(
+            "metrics.csv"
+        )
+
+    def test_jsonl_lines_are_valid_json(self):
+        for line in events_to_jsonl(scripted_tracer().events).splitlines():
+            record = json.loads(line)
+            assert record["kind"] in EVENT_KINDS
+
+    def test_summary_table_lists_metrics(self):
+        text = summary_table(scripted_tracer().metrics, title="smoke")
+        assert text.startswith("smoke")
+        assert "pages_read_total" in text
+        assert "cache_hit_ratio" in text
+
+    def test_summary_table_empty_registry(self):
+        assert "(no metrics recorded)" in summary_table(MetricsRegistry())
+
+    def test_table_to_json_schema(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add_row(1, 2.5)
+        table.add_note("a note")
+        payload = json.loads(table_to_json(table))
+        assert payload == {
+            "schema": "repro.result_table/v1",
+            "title": "demo",
+            "columns": ["x", "y"],
+            "rows": [[1, 2.5]],
+            "notes": ["a note"],
+        }
+
+
+class TestContext:
+    def test_observe_sets_and_restores(self):
+        tracer = RecordingTracer()
+        assert current_tracer() is NULL_TRACER
+        with observe(tracer) as active:
+            assert active is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_nesting_inner_wins(self):
+        outer, inner = RecordingTracer(), RecordingTracer()
+        with observe(outer):
+            with observe(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+    def test_current_metrics_falls_back_to_tracer(self):
+        registry = MetricsRegistry()
+        with observe(RecordingTracer(metrics=registry)):
+            assert current_metrics() is registry
+        assert current_metrics() is None
+
+    def test_explicit_metrics_beats_tracer_attribute(self):
+        tracer = RecordingTracer(metrics=MetricsRegistry())
+        explicit = MetricsRegistry()
+        with observe(tracer, metrics=explicit):
+            assert current_metrics() is explicit
+
+
+class TestCatalogueGenerator:
+    def test_rendered_table_covers_every_metric(self):
+        table = render_catalogue()
+        for name in catalogue_names():
+            assert f"`{name}`" in table
+
+    def test_live_docs_catalogue_is_in_sync(self):
+        assert catalogue_verify(OBSERVABILITY_MD) == []
+
+    def test_verify_reports_missing_markers(self, tmp_path):
+        rogue = tmp_path / "rogue.md"
+        rogue.write_text("no markers here\n")
+        problems = catalogue_verify(rogue)
+        assert problems and "markers" in problems[0]
+
+    def test_verify_reports_stale_block(self, tmp_path):
+        stale = tmp_path / "stale.md"
+        stale.write_text(f"{BEGIN_MARKER}\nold table\n{END_MARKER}\n")
+        problems = catalogue_verify(stale)
+        assert problems and "stale" in problems[0]
+
+    def test_cli_inject_then_verify(self, tmp_path, capsys):
+        doc = tmp_path / "doc.md"
+        doc.write_text(f"intro\n{BEGIN_MARKER}\n{END_MARKER}\ntail\n")
+        assert catalogue_main([str(doc)]) == 0
+        assert catalogue_main([str(doc), "--verify"]) == 0
+        capsys.readouterr()
+        doc.write_text(f"intro\n{BEGIN_MARKER}\ndrift\n{END_MARKER}\ntail\n")
+        assert catalogue_main([str(doc), "--verify"]) == 1
