@@ -1,0 +1,8 @@
+"""Repository-root pytest configuration.
+
+``pytest_plugins`` must be declared at the rootdir (pytest deprecated
+non-root declarations), so the determinism-sanitizer fixture is
+registered here rather than in ``tests/conftest.py``.
+"""
+
+pytest_plugins = ["repro.sanitize.pytest_plugin"]

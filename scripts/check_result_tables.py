@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Validate benchmark result tables against ``repro.result_table/v1``.
+
+Every ``benchmarks/results/*.json`` file is the machine-readable sibling
+of an ASCII results table (written by
+:func:`repro.obs.export.table_to_json`).  Downstream tooling diffs these
+to track the perf trajectory, so CI checks each file parses and matches
+the schema shape::
+
+    {"schema": "repro.result_table/v1", "title": str,
+     "columns": [str], "rows": [[cell]], "notes": [str]}
+
+with every row exactly as wide as ``columns`` and every cell a JSON
+scalar (string, number, bool, or null).
+
+Used by the CI ``docs`` job; importable for tests::
+
+    from check_result_tables import validate_table, validate_files
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Iterable, List, Tuple
+
+RESULT_TABLE_SCHEMA = "repro.result_table/v1"
+
+#: ``(file, problem)`` pairs describing one schema violation each.
+Problem = Tuple[pathlib.Path, str]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _string_list(value: Any) -> bool:
+    return isinstance(value, list) and all(
+        isinstance(item, str) for item in value
+    )
+
+
+def validate_table(payload: Any) -> List[str]:
+    """Problems with one parsed document; [] when it matches the schema."""
+    if not isinstance(payload, dict):
+        return ["document is not a JSON object"]
+    problems: List[str] = []
+    schema = payload.get("schema")
+    if schema != RESULT_TABLE_SCHEMA:
+        problems.append(
+            f"schema is {schema!r}, expected {RESULT_TABLE_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("title"), str):
+        problems.append("title must be a string")
+    columns = payload.get("columns")
+    if not _string_list(columns) or not columns:
+        problems.append("columns must be a non-empty list of strings")
+        columns = None
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        problems.append("rows must be a list of lists")
+        rows = []
+    for index, row in enumerate(rows):
+        if not isinstance(row, list):
+            problems.append(f"row {index} is not a list")
+            continue
+        if columns is not None and len(row) != len(columns):
+            problems.append(
+                f"row {index} has {len(row)} cells, expected "
+                f"{len(columns)} (one per column)"
+            )
+        for cell in row:
+            if not isinstance(cell, _SCALARS):
+                problems.append(
+                    f"row {index} holds a non-scalar cell of type "
+                    f"{type(cell).__name__}"
+                )
+                break
+    if not _string_list(payload.get("notes")):
+        problems.append("notes must be a list of strings")
+    extra = sorted(
+        set(payload) - {"schema", "title", "columns", "rows", "notes"}
+    )
+    if extra:
+        problems.append(f"unexpected keys: {', '.join(extra)}")
+    return problems
+
+
+def validate_files(files: Iterable[pathlib.Path]) -> List[Problem]:
+    """Schema problems across ``files``; [] when every table is valid."""
+    problems: List[Problem] = []
+    for path in files:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            problems.append((path, f"unreadable JSON: {error}"))
+            continue
+        problems.extend((path, problem) for problem in validate_table(payload))
+    return problems
+
+
+def default_files(root: pathlib.Path) -> List[pathlib.Path]:
+    """The committed result tables: ``benchmarks/results/*.json``."""
+    return sorted((root / "benchmarks" / "results").glob("*.json"))
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="result-table JSON files or directories to validate "
+             "(default: benchmarks/results/*.json)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.paths:
+        files: List[pathlib.Path] = []
+        for path in args.paths:
+            files += sorted(path.glob("*.json")) if path.is_dir() else [path]
+    else:
+        files = default_files(pathlib.Path(__file__).resolve().parents[1])
+    problems = validate_files(files)
+    for path, problem in problems:
+        print(f"{path}: {problem}")
+    print(f"{len(files)} tables checked, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,19 +18,33 @@ See ``docs/linting.md`` for the rule catalogue and how to add a rule.
 
 from __future__ import annotations
 
+from repro.lint.baseline import (
+    load_baseline,
+    render_baseline,
+    subtract_baseline,
+    write_baseline,
+)
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
-from repro.lint.engine import run_lint
+from repro.lint.engine import ALL_RULES, all_rule_names, run_lint
 from repro.lint.findings import Finding, render_json, render_text
 from repro.lint.rules import RULES, Rule, rule_names
+from repro.lint.sarif import render_sarif
 
 __all__ = [
+    "ALL_RULES",
     "DEFAULT_CONFIG",
     "Finding",
     "LintConfig",
     "RULES",
     "Rule",
+    "all_rule_names",
+    "load_baseline",
+    "render_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_names",
     "run_lint",
+    "subtract_baseline",
+    "write_baseline",
 ]

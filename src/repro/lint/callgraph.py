@@ -1,0 +1,294 @@
+"""Project-wide symbol table and call graph for cross-module lint rules.
+
+The per-module rules in :mod:`repro.lint.rules` see one AST at a time;
+the dataflow rules in :mod:`repro.lint.dataflow` need to answer
+*whole-program* questions — "can an engine entry point reach this
+``DiskArray.charge`` call?" — so this module builds the shared
+infrastructure once per lint run:
+
+* :class:`ProjectIndex` — every function/method in the linted tree under
+  its dotted qualified name (``repro.parallel.engine.ParallelEngine
+  ._fetch``), plus per-module import-alias tables resolved to absolute
+  dotted names;
+* :class:`CallGraph` — resolved call edges between those functions.
+
+Resolution is deliberately conservative-but-useful (class-hierarchy-
+analysis style): ``self.m(...)`` resolves to the enclosing class's own
+method, then to project-local base classes; plain and dotted names
+resolve through the import table; an attribute call that cannot be
+resolved precisely (``self._engine.query(...)``) falls back to *every*
+project function with that method name.  Over-approximating edges is the
+right failure mode for reachability-based rules: a violation is never
+hidden by a missed edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.module import ModuleInfo
+
+__all__ = ["FunctionInfo", "ProjectIndex", "CallGraph", "dotted_name",
+           "import_aliases"]
+
+FunctionNode = ast.FunctionDef  # AsyncFunctionDef handled via tuple below
+_FUNC_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the absolute dotted things they refer to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``; ``from repro.parallel
+    import disks as dk`` -> ``{"dk": "repro.parallel.disks"}``;
+    ``from repro.parallel.disks import DiskArray`` ->
+    ``{"DiskArray": "repro.parallel.disks.DiskArray"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the linted tree.
+
+    ``qualname`` is the dotted address (module, enclosing classes, then
+    the function name — nested functions chain through their parents);
+    ``class_name`` is the innermost enclosing class, None for
+    module-level functions.
+    """
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.AST
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """The unqualified function name."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+class ProjectIndex:
+    """Symbol table over every module of one lint run.
+
+    Exposes ``functions`` (qualname -> :class:`FunctionInfo`),
+    ``by_method_name`` (unqualified name -> qualnames) for
+    class-hierarchy-analysis fallbacks, ``classes`` (dotted class name ->
+    ``ast.ClassDef``) and per-module import aliases.
+    """
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: Dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.by_method_name: Dict[str, List[str]] = {}
+        self.classes: Dict[str, ast.ClassDef] = {}
+        self.aliases: Dict[str, Dict[str, str]] = {}
+        for module in modules:
+            self.aliases[module.name] = import_aliases(module.tree)
+            self._collect(module, module.tree.body, module.name, None)
+
+    def _collect(
+        self,
+        module: ModuleInfo,
+        body: Sequence[ast.stmt],
+        prefix: str,
+        class_name: Optional[str],
+    ) -> None:
+        for node in body:
+            if isinstance(node, _FUNC_TYPES):
+                qualname = f"{prefix}.{node.name}"
+                info = FunctionInfo(qualname, module, node, class_name)
+                self.functions[qualname] = info
+                self.by_method_name.setdefault(node.name, []).append(qualname)
+                self._collect(module, node.body, qualname, class_name)
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}.{node.name}"
+                self.classes[qualname] = node
+                self._collect(module, node.body, qualname, node.name)
+
+    def resolve(self, module_name: str, local_dotted: str) -> str:
+        """Absolute dotted name for ``local_dotted`` seen in a module.
+
+        The head segment is resolved through the module's import table;
+        unresolvable heads fall back to ``module_name.local_dotted`` so
+        module-local definitions are found.
+        """
+        aliases = self.aliases.get(module_name, {})
+        head, _, rest = local_dotted.partition(".")
+        if head in aliases:
+            resolved = aliases[head]
+            return f"{resolved}.{rest}" if rest else resolved
+        return f"{module_name}.{local_dotted}"
+
+    def base_classes(self, class_qualname: str) -> List[str]:
+        """Project-local base-class qualnames of ``class_qualname``."""
+        node = self.classes.get(class_qualname)
+        if node is None:
+            return []
+        module_name = class_qualname.rsplit(".", 2)[0]
+        # A nested class keeps its defining module as the resolution
+        # context; walking off the front of the qualname finds it.
+        while module_name and module_name not in self.modules:
+            module_name = module_name.rsplit(".", 1)[0]
+        bases: List[str] = []
+        for base in node.bases:
+            local = dotted_name(base)
+            if local is None:
+                continue
+            resolved = self.resolve(module_name or class_qualname, local)
+            if resolved in self.classes:
+                bases.append(resolved)
+        return bases
+
+    def resolve_method(
+        self, class_qualname: str, method: str
+    ) -> Optional[str]:
+        """``Class.method`` resolved through project-local inheritance."""
+        seen: Set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            candidate = f"{current}.{method}"
+            if candidate in self.functions:
+                return candidate
+            stack.extend(self.base_classes(current))
+        return None
+
+
+class CallGraph:
+    """Resolved call edges over a :class:`ProjectIndex`.
+
+    ``edges[caller]`` is the set of callee qualnames.  Unresolvable
+    attribute calls contribute name-based edges to every project
+    function with that method name (see the module docstring for why
+    over-approximation is the safe direction).
+    """
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.edges: Dict[str, Set[str]] = {}
+        for info in index.functions.values():
+            self.edges[info.qualname] = set(self._callees(info))
+
+    # ------------------------------------------------------- edge building
+
+    def _own_calls(self, info: FunctionInfo) -> Iterator[ast.Call]:
+        """Calls lexically inside ``info`` but not inside a nested def."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(info.node))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _FUNC_TYPES):
+                continue  # nested function: its own graph node
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _class_qualname(self, info: FunctionInfo) -> Optional[str]:
+        """Dotted name of the class that owns method ``info``, if any."""
+        if info.class_name is None:
+            return None
+        qualname = info.qualname
+        marker = f".{info.class_name}."
+        head = qualname.rsplit(marker, 1)[0]
+        return f"{head}{marker.rstrip('.')}" if marker in qualname else None
+
+    def _callees(self, info: FunctionInfo) -> Iterator[str]:
+        module_name = info.module.name
+        class_qualname = self._class_qualname(info)
+        # Nested functions are reachable from their enclosing function.
+        parent = info.qualname.rsplit(".", 1)[0]
+        if parent in self.index.functions:
+            self.edges.setdefault(parent, set()).add(info.qualname)
+        for call in self._own_calls(info):
+            local = dotted_name(call.func)
+            if local is None:
+                continue
+            if local.startswith("self.") and class_qualname is not None:
+                rest = local[len("self."):]
+                if "." not in rest:
+                    resolved = self.index.resolve_method(class_qualname, rest)
+                    if resolved is not None:
+                        yield resolved
+                        continue
+            absolute = self.index.resolve(module_name, local)
+            if absolute in self.index.functions:
+                yield absolute
+                continue
+            # ``Class(...)`` constructs an instance: edge to __init__.
+            if absolute in self.index.classes:
+                init = self.index.resolve_method(absolute, "__init__")
+                if init is not None:
+                    yield init
+                continue
+            # Unresolvable attribute call: name-based fallback.
+            attr = local.rsplit(".", 1)[-1]
+            if "." in local:
+                for candidate in self.index.by_method_name.get(attr, ()):
+                    yield candidate
+
+    # -------------------------------------------------------------- queries
+
+    def reachable_from(self, roots: Sequence[str]) -> Set[str]:
+        """Every function reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        queue = deque(root for root in roots if root in self.edges)
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        return seen
+
+    def find_path(self, source: str, target: str) -> Optional[List[str]]:
+        """Shortest call chain from ``source`` to ``target`` (BFS)."""
+        if source not in self.edges:
+            return None
+        parents: Dict[str, str] = {}
+        queue = deque([source])
+        seen = {source}
+        while queue:
+            current = queue.popleft()
+            if current == target:
+                path = [current]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in seen:
+                    seen.add(callee)
+                    parents[callee] = current
+                    queue.append(callee)
+        return None

@@ -3,36 +3,64 @@
 Exit status 0 means every linted file upholds every error-severity
 invariant (warnings are reported but never fail the run); 1 means error
 findings were reported; 2 means bad usage.  ``--format=json`` emits a
-machine-readable document for tooling.
+machine-readable document for tooling; ``--format=sarif`` emits SARIF
+2.1.0 for GitHub code scanning.
+
+Baselines (``lint-baseline.json``, schema ``repro.lint-baseline/v1``)
+let CI fail only on *new* findings: ``--baseline FILE`` subtracts the
+recorded fingerprints before rendering and exit-status evaluation, and
+``--update-baseline FILE`` rewrites the file from the current tree.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence
 
-from repro.lint.engine import run_lint
-from repro.lint.findings import error_findings, render_json, render_text
-from repro.lint.rules import RULES
+from repro.lint.baseline import (
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+from repro.lint.engine import ALL_RULES, run_lint, rule_summaries
+from repro.lint.findings import (
+    Finding,
+    error_findings,
+    render_json,
+    render_text,
+)
+from repro.lint.sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Static checker for this repository's paper-level "
         "invariants (seeded RNG, core-bits usage, buffer-pool charging, "
-        "float equality, library prints, scheme registry completeness).",
+        "float equality, library prints, scheme registry completeness, "
+        "plus cross-module dataflow rules over the project call graph).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="subtract the findings recorded in FILE before reporting "
+        "(fail only on new findings)",
+    )
+    parser.add_argument(
+        "--update-baseline", type=Path, default=None, metavar="FILE",
+        help="rewrite FILE from the current findings and exit 0",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -42,13 +70,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.list_rules:
-        for rule in RULES:
-            print(f"{rule.name:>26}  {rule.summary}")
+        for rule in ALL_RULES:
+            print(f"{rule.name:>28}  {rule.summary}")
         return 0
-    findings = run_lint(args.paths)
-    if args.format == "json":
+    findings: List[Finding] = run_lint(args.paths)
+    if args.update_baseline is not None:
+        write_baseline(args.update_baseline, findings)
+        print(
+            f"baseline {args.update_baseline} updated "
+            f"({len(findings)} findings recorded)"
+        )
+        return 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"repro.lint: {error}", file=sys.stderr)
+            return 2
+        findings = subtract_baseline(findings, baseline)
+    if args.format == "sarif":
+        print(render_sarif(findings, "repro.lint", rule_summaries()))
+    elif args.format == "json":
         print(render_json(findings))
     elif findings:
         print(render_text(findings))

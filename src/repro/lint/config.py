@@ -54,11 +54,21 @@ class LintConfig:
         ``numpy.random`` attribute names exempt from ``seeded-rng-only``.
     registry_module:
         Dotted name of the module holding the scheme registry that
-        ``registry-completeness`` checks against.
+        ``registry-completeness`` and ``no-unvalidated-scheme-string``
+        check against.
     scheme_suffix:
         Class-name suffix identifying a declustering scheme definition.
     abstract_schemes:
         Scheme class names that are abstract bases, not registrable.
+    catalogue_module:
+        Dotted name of the module declaring ``METRIC_CATALOGUE``, used
+        by ``metric-in-catalogue``.
+    entry_point_names:
+        Method names treated as engine/simulator entry points when
+        ``no-uncharged-disk-read`` reports a reaching call chain.
+    docstring_error_scope:
+        Module prefixes where ``no-missing-public-docstring`` escalates
+        from warn to error (the lint/sanitizer dogfood scope).
     """
 
     enabled: Optional[FrozenSet[str]] = None
@@ -68,14 +78,20 @@ class LintConfig:
     registry_module: str = "repro.registry"
     scheme_suffix: str = "Declusterer"
     abstract_schemes: Tuple[str, ...] = ("Declusterer", "BucketDeclusterer")
+    catalogue_module: str = "repro.obs.metrics"
+    entry_point_names: Tuple[str, ...] = ("query", "query_batch", "run")
+    docstring_error_scope: Tuple[str, ...] = ("repro.lint", "repro.sanitize")
 
     def scope_for(self, rule_name: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        """The scope prefixes for ``rule_name`` (override or default)."""
         return tuple(self.scopes.get(rule_name, default))
 
     def exempt_for(self, rule_name: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        """The exempt prefixes for ``rule_name`` (override or default)."""
         return tuple(self.exempt.get(rule_name, default))
 
     def rule_enabled(self, rule_name: str) -> bool:
+        """True when ``rule_name`` should run under this config."""
         return self.enabled is None or rule_name in self.enabled
 
 

@@ -8,18 +8,46 @@ the tree upholds every invariant.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Type, Union
 
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.dataflow import DATAFLOW_RULES
 from repro.lint.findings import Finding
 from repro.lint.module import ModuleInfo
 from repro.lint.rules import RULES, Rule
 
-__all__ = ["run_lint", "discover_files"]
+__all__ = [
+    "run_lint",
+    "discover_files",
+    "ALL_RULES",
+    "all_rule_names",
+    "rule_summaries",
+]
 
 #: Synthetic rule names the engine itself emits.
 SYNTAX_ERROR = "syntax-error"
 UNUSED_SUPPRESSION = "unused-suppression"
+
+#: Per-module rules plus the cross-module dataflow layer, in reporting
+#: order.  Aggregated here (not in ``rules``) because the dataflow rules
+#: subclass :class:`~repro.lint.rules.Rule` and importing them back into
+#: ``rules`` would be circular.
+ALL_RULES: Tuple[Type[Rule], ...] = tuple(RULES) + tuple(DATAFLOW_RULES)
+
+
+def all_rule_names() -> Tuple[str, ...]:
+    """Names of every registered rule (module-local and dataflow)."""
+    return tuple(rule.name for rule in ALL_RULES)
+
+
+def rule_summaries() -> Dict[str, str]:
+    """Rule name to one-line summary, including the synthetic rules."""
+    summaries = {rule.name: rule.summary for rule in ALL_RULES}
+    summaries[SYNTAX_ERROR] = "file cannot be parsed"
+    summaries[UNUSED_SUPPRESSION] = (
+        "repro-lint suppression comment that silences nothing"
+    )
+    return summaries
 
 _SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache", "build"}
 
@@ -57,26 +85,46 @@ def _parse_all(
 def _apply_suppressions(
     modules: Sequence[ModuleInfo], findings: Sequence[Finding]
 ) -> List[Finding]:
-    """Drop suppressed findings; flag suppressions that did no work."""
+    """Drop suppressed findings; flag suppressions that did no work.
+
+    Usage is tracked *per rule*, not per line: a comment like
+    ``# repro-lint: disable=rule-a,rule-b`` where only ``rule-a`` fired
+    reports ``rule-b`` as unused, and the unused-suppression message
+    names the idle rule and its line.
+    """
     by_path = {module.display_path: module for module in modules}
     kept: List[Finding] = []
-    used: Set[Tuple[str, int]] = set()
+    used: Set[Tuple[str, int, str]] = set()
     for finding in findings:
         module = by_path.get(finding.path)
         if module is not None and module.suppresses(finding.line, finding.rule):
-            used.add((finding.path, finding.line))
+            used.add((finding.path, finding.line, finding.rule))
         else:
             kept.append(finding)
     for module in modules:
         for line, rules in sorted(module.suppressions.items()):
-            if (module.display_path, line) not in used:
-                kept.append(
-                    Finding(
-                        module.display_path, line, UNUSED_SUPPRESSION,
-                        f"suppression disable={','.join(sorted(rules))} "
-                        f"matches no finding; remove it",
+            any_used = any(
+                key[0] == module.display_path and key[1] == line
+                for key in used
+            )
+            for rule in sorted(rules):
+                if rule == "all":
+                    if not any_used:
+                        kept.append(
+                            Finding(
+                                module.display_path, line, UNUSED_SUPPRESSION,
+                                f"suppression disable=all on line {line} "
+                                f"matches no finding; remove it",
+                            )
+                        )
+                elif (module.display_path, line, rule) not in used:
+                    kept.append(
+                        Finding(
+                            module.display_path, line, UNUSED_SUPPRESSION,
+                            f"suppression disable={rule} on line {line} "
+                            f"matches no {rule} finding; remove it",
+                        )
                     )
-                )
     return kept
 
 
@@ -94,7 +142,7 @@ def run_lint(
     files = discover_files(paths)
     modules, findings = _parse_all(files)
     rules: List[Rule] = [
-        rule_class() for rule_class in RULES
+        rule_class() for rule_class in ALL_RULES
         if config.rule_enabled(rule_class.name)
     ]
     for rule in rules:

@@ -13,6 +13,7 @@ does not affect the exit status — used by advisory rules like
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from typing import List, Sequence
@@ -35,6 +36,16 @@ class Finding:
         prefixed)."""
         label = "" if self.severity == "error" else f"{self.severity}ing: "
         return f"{self.path}:{self.line}: [{self.rule}] {label}{self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines and SARIF ``partialFingerprints``.
+
+        Hashes ``path | rule | severity | message`` — deliberately not
+        the line number, so edits that merely shift a finding within a
+        file do not invalidate a committed baseline.
+        """
+        basis = "|".join((self.path, self.rule, self.severity, self.message))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
 
 
 def error_findings(findings: Sequence[Finding]) -> List[Finding]:

@@ -99,6 +99,7 @@ class ModuleInfo:
         )
 
     def suppresses(self, line: int, rule: str) -> bool:
+        """True when a comment on ``line`` disables ``rule`` (or all)."""
         rules = self.suppressions.get(line)
         return rules is not None and (rule in rules or SUPPRESS_ALL in rules)
 

@@ -10,6 +10,7 @@ the claim it protects.  Rules are AST visitors over one module
 from __future__ import annotations
 
 import ast
+from dataclasses import replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.lint.config import LintConfig, module_matches
@@ -32,6 +33,7 @@ class Rule:
     default_exempt: Tuple[str, ...] = ()
 
     def applies_to(self, module: str, config: LintConfig) -> bool:
+        """True when this rule should check dotted module ``module``."""
         scope = config.scope_for(self.name, self.default_scope)
         exempt = config.exempt_for(self.name, self.default_exempt)
         return module_matches(module, scope) and not module_matches(
@@ -41,14 +43,17 @@ class Rule:
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Findings for one module in isolation (default: none)."""
         return iter(())
 
     def check_project(
         self, modules: Sequence[ModuleInfo], config: LintConfig
     ) -> Iterator[Finding]:
+        """Findings needing the whole linted tree at once (default: none)."""
         return iter(())
 
     def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` at ``node`` with this rule's severity."""
         return Finding(module.display_path, getattr(node, "lineno", 1),
                        self.name, message, severity=self.severity)
 
@@ -110,10 +115,14 @@ class SeededRngOnly(Rule):
     summary = ("global numpy.random.* / random.* call; inject a seeded "
                "numpy.random.Generator instead")
     default_scope = ("repro", "tests", "benchmarks")
+    #: The sanitizer's RNG guard reads global state on purpose (to detect
+    #: exactly this misuse at runtime).
+    default_exempt = ("repro.sanitize.runtime",)
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag global-RNG calls resolved through import aliases."""
         aliases = _import_aliases(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -196,6 +205,7 @@ class UseCoreBits(Rule):
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag popcount/Hamming reimplementations."""
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 if self._is_count_of_ones(node):
@@ -244,6 +254,7 @@ class ChargeThroughBufferPool(Rule):
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag every DiskArray.charge call in non-exempt modules."""
         for node in ast.walk(module.tree):
             if (
                 isinstance(node, ast.Call)
@@ -295,6 +306,7 @@ class NoFloatEq(Rule):
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag exact ==/!= between float-valued expressions."""
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Compare):
                 continue
@@ -325,11 +337,14 @@ class NoPrintOutsideCli(Rule):
         "repro.lint.cli",
         "repro.lint.__main__",
         "repro.obs.catalogue",
+        "repro.sanitize.cli",
+        "repro.sanitize.__main__",
     )
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag print() calls in library modules."""
         for node in ast.walk(module.tree):
             if (
                 isinstance(node, ast.Call)
@@ -355,6 +370,7 @@ class NoBroadExcept(Rule):
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag bare and Exception/BaseException handlers."""
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -425,6 +441,7 @@ class RegistryCompleteness(Rule):
     def check_project(
         self, modules: Sequence[ModuleInfo], config: LintConfig
     ) -> Iterator[Finding]:
+        """Cross-check scheme classes against the registry module."""
         in_scope = [
             module for module in modules if self.applies_to(module.name, config)
         ]
@@ -465,14 +482,18 @@ class NoMissingPublicDocstring(Rule):
     """The observability contract is documented *at* the API surface:
     every public class/function in ``repro.parallel`` and ``repro.obs``
     states what it does (and, for query paths, which trace events it
-    emits).  Advisory only — a warning, not a failure — so refactors are
-    not blocked mid-flight, but CI output shows the gap."""
+    emits).  Advisory in the instrumented packages — a warning, not a
+    failure — so refactors are not blocked mid-flight; *escalated to
+    error* inside the correctness tooling itself (``repro.lint`` and
+    ``repro.sanitize``, per ``LintConfig.docstring_error_scope``): the
+    linter dogfoods its own documentation bar."""
 
     name = "no-missing-public-docstring"
     summary = ("public def/class without a docstring in the instrumented "
-               "packages (advisory)")
+               "packages (advisory; error in repro.lint/repro.sanitize)")
     severity = "warn"
-    default_scope = ("repro.parallel", "repro.obs")
+    default_scope = ("repro.parallel", "repro.obs", "repro.lint",
+                     "repro.sanitize")
 
     def _undocumented(
         self, body: Sequence[ast.stmt], owner: str
@@ -493,13 +514,18 @@ class NoMissingPublicDocstring(Rule):
     def check_module(
         self, module: ModuleInfo, config: LintConfig
     ) -> Iterator[Finding]:
+        """Flag undocumented publics (error-severity in the dogfood scope)."""
+        escalate = module_matches(module.name, config.docstring_error_scope)
         for node, qualified in self._undocumented(module.tree.body, ""):
             kind = "class" if isinstance(node, ast.ClassDef) else "function"
-            yield self.finding(
+            found = self.finding(
                 module, node,
                 f"public {kind} {qualified} has no docstring; state what "
                 f"it does and which trace events (if any) it emits",
             )
+            if escalate:
+                found = replace(found, severity="error")
+            yield found
 
 
 #: Registered rule classes, in reporting order.
@@ -516,4 +542,6 @@ RULES: Tuple[Type[Rule], ...] = (
 
 
 def rule_names() -> Tuple[str, ...]:
+    """Names of the per-module rules (excludes the dataflow layer; see
+    ``repro.lint.engine.all_rule_names`` for the complete set)."""
     return tuple(rule.name for rule in RULES)

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 rendering for lint and sanitizer findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests; ``repro.lint
+--format sarif`` and ``repro.sanitize --format sarif`` both emit one
+``run`` built here from the shared :class:`~repro.lint.findings.Finding`
+type, so CI uploads a single artifact shape regardless of which layer
+produced the result.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "sarif_run", "render_sarif"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+_LEVEL_FOR_SEVERITY = {"error": "error", "warn": "warning"}
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    """One SARIF ``result`` object for ``finding``."""
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVEL_FOR_SEVERITY.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": finding.fingerprint(),
+        },
+    }
+
+
+def sarif_run(
+    findings: Sequence[Finding],
+    tool_name: str,
+    rule_metadata: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """One SARIF ``run`` object: tool descriptor plus results.
+
+    ``rule_metadata`` maps rule name to its one-line summary; every rule
+    referenced by a finding is included in the driver's rule table even
+    when no summary is known (GitHub requires ``ruleId`` referents).
+    """
+    metadata = dict(rule_metadata or {})
+    for finding in findings:
+        metadata.setdefault(finding.rule, "")
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": name,
+            "shortDescription": {"text": summary or name},
+        }
+        for name, summary in sorted(metadata.items())
+    ]
+    return {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "informationUri": "https://example.invalid/repro",
+                "rules": rules,
+            }
+        },
+        "results": [_result(finding) for finding in sorted(findings)],
+        "columnKind": "utf16CodeUnits",
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    tool_name: str = "repro.lint",
+    rule_metadata: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Full SARIF 2.1.0 log document as a JSON string."""
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [sarif_run(findings, tool_name, rule_metadata)],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

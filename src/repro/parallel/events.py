@@ -27,7 +27,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.parallel.cache import BufferPool, CacheStats
 from repro.parallel.disks import DiskParameters
-from repro.parallel.engine import CacheSpec
+from repro.parallel.engine import CacheSpec, ParallelQueryResult
 from repro.parallel.paged import PagedEngine, PagedStore
 
 __all__ = ["QueryArrival", "EventSimReport", "EventDrivenSimulator",
@@ -63,7 +63,14 @@ def poisson_arrivals(
 
 @dataclass
 class EventSimReport:
-    """Metrics of one simulated query stream."""
+    """Metrics of one simulated query stream.
+
+    ``query_results`` (populated only when the run was asked to
+    ``keep_results``, e.g. by the determinism sanitizer) holds each
+    arrival's kNN result indexed by *arrival position in the input
+    sequence* — stable under tie-break permutation, unlike the
+    processing order.
+    """
 
     latencies_ms: np.ndarray
     completion_ms: float
@@ -72,6 +79,7 @@ class EventSimReport:
     offered_rate_qps: float = 0.0
     dropped: int = 0
     cache_stats: Optional[CacheStats] = None
+    query_results: Optional[List["ParallelQueryResult"]] = None
 
     @property
     def mean_latency_ms(self) -> float:
@@ -146,12 +154,22 @@ class EventDrivenSimulator:
         self,
         arrivals: Sequence[QueryArrival],
         metrics: Optional[MetricsRegistry] = None,
+        tiebreak_seed: Optional[int] = None,
+        keep_results: bool = False,
     ) -> EventSimReport:
         """Process arrivals in time order; returns the stream metrics.
 
         With a buffer pool, each arrival only queues its cache *misses*
         at the disks — a stream with locality stays unsaturated far past
         the cold-cache capacity limit.
+
+        ``tiebreak_seed`` is the determinism sanitizer's hook point: it
+        permutes the processing order of *same-timestamp* arrivals (the
+        default, None, keeps the stable input order).  Query results and
+        per-disk page totals must be identical under any seed — that is
+        the invariant ``repro.sanitize.replay`` replays and diffs.
+        ``keep_results`` additionally records each arrival's kNN result
+        (indexed by input position) on the report.
 
         Under an enabled tracer each query's per-page events come from
         the inner engine, bracketed by ``query_arrival`` /
@@ -162,7 +180,19 @@ class EventDrivenSimulator:
         enclosing :func:`repro.obs.context.observe` block — when one is
         present.
         """
-        arrivals = sorted(arrivals, key=lambda a: a.time_ms)
+        arrivals = list(arrivals)
+        if tiebreak_seed is None:
+            order = sorted(
+                range(len(arrivals)), key=lambda i: arrivals[i].time_ms
+            )
+        else:
+            perm = np.random.default_rng(tiebreak_seed).permutation(
+                len(arrivals)
+            )
+            order = sorted(
+                range(len(arrivals)),
+                key=lambda i: (arrivals[i].time_ms, int(perm[i])),
+            )
         t_page = self.parameters.page_service_time_ms
         num_disks = self.store.num_disks
         tracer = self._active_tracer()
@@ -173,13 +203,19 @@ class EventDrivenSimulator:
         totals = np.zeros(num_disks, dtype=np.int64)
         latencies = []
         completion = 0.0
-        for index, arrival in enumerate(arrivals):
+        results: Optional[List[ParallelQueryResult]] = (
+            [None] * len(arrivals) if keep_results else None  # type: ignore[list-item]
+        )
+        for index, original in enumerate(order):
+            arrival = arrivals[original]
             if traced:
                 tracer.record(
                     "query_arrival", query=index, t_ms=arrival.time_ms,
                     k=arrival.k,
                 )
             demand = self._engine.query(arrival.query, arrival.k)
+            if results is not None:
+                results[original] = demand
             pages = demand.pages_per_disk
             totals += pages
             finish = arrival.time_ms
@@ -195,6 +231,7 @@ class EventDrivenSimulator:
                     "query_completion", query=index, t_ms=finish,
                     latency_ms=finish - arrival.time_ms,
                 )
+        arrivals = [arrivals[i] for i in order]
         duration_s = (
             (arrivals[-1].time_ms - arrivals[0].time_ms) / 1000.0
             if len(arrivals) > 1
@@ -210,6 +247,7 @@ class EventDrivenSimulator:
             cache_stats=(
                 cache.delta_since(cache_before) if cache else None
             ),
+            query_results=results,
         )
         registry = self._resolve_metrics(metrics)
         if registry is not None:

@@ -31,7 +31,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.parallel.cache import BufferPool, CacheStats
 from repro.parallel.disks import DiskParameters
-from repro.parallel.engine import CacheSpec
+from repro.parallel.engine import CacheSpec, ParallelQueryResult
 from repro.parallel.paged import PagedEngine, PagedStore
 
 __all__ = ["ThroughputReport", "ThroughputSimulator"]
@@ -52,6 +52,9 @@ class ThroughputReport:
     pages_per_disk: np.ndarray
     page_service_time_ms: float
     cache_stats: Optional[CacheStats] = None
+    #: Per-query kNN results in *input* order; populated only when the
+    #: run was asked to ``keep_results`` (determinism sanitizer).
+    query_results: Optional[List["ParallelQueryResult"]] = None
 
     @property
     def throughput_qps(self) -> float:
@@ -123,12 +126,22 @@ class ThroughputSimulator:
         queries: np.ndarray,
         k: int = 10,
         metrics: Optional[MetricsRegistry] = None,
+        tiebreak_seed: Optional[int] = None,
+        keep_results: bool = False,
     ) -> ThroughputReport:
         """Simulate the concurrent execution of ``queries``.
 
         The buffer pool (if any) persists across the batch: later queries
         hit the pages earlier queries pulled in, so only misses queue up
         at the disks.
+
+        All queries of the batch arrive simultaneously, so their
+        execution order is one big timestamp tie: ``tiebreak_seed``
+        (the determinism sanitizer's hook point) permutes it, with
+        per-query outputs always restored to input positions.  Results
+        and per-disk totals must not depend on the seed —
+        ``repro.sanitize.replay`` replays and diffs exactly that.
+        ``keep_results`` records each query's kNN result on the report.
 
         Per-query trace events come from the inner
         :class:`~repro.parallel.paged.PagedEngine`; batch aggregates
@@ -142,10 +155,24 @@ class ThroughputSimulator:
         num_disks = self.store.num_disks
         cache = self._engine.cache
         cache_before = cache.stats() if cache else None
-        per_query_pages: List[np.ndarray] = []
-        for query in queries:
-            result = self._engine.query(query, k)
-            per_query_pages.append(result.pages_per_disk)
+        if tiebreak_seed is None:
+            order = list(range(len(queries)))
+        else:
+            order = [
+                int(i)
+                for i in np.random.default_rng(tiebreak_seed).permutation(
+                    len(queries)
+                )
+            ]
+        per_query_pages: List[np.ndarray] = [None] * len(queries)  # type: ignore[list-item]
+        results: Optional[List[ParallelQueryResult]] = (
+            [None] * len(queries) if keep_results else None  # type: ignore[list-item]
+        )
+        for original in order:
+            result = self._engine.query(queries[original], k)
+            per_query_pages[original] = result.pages_per_disk
+            if results is not None:
+                results[original] = result
         totals = (
             np.sum(per_query_pages, axis=0)
             if per_query_pages
@@ -170,6 +197,7 @@ class ThroughputSimulator:
             cache_stats=(
                 cache.delta_since(cache_before) if cache else None
             ),
+            query_results=results,
         )
         registry = self._resolve_metrics(metrics)
         if registry is not None:

@@ -1,0 +1,51 @@
+"""Runtime determinism/race sanitizer for the simulators.
+
+Layer 2 of the correctness tooling (Layer 1 is the static analysis in
+:mod:`repro.lint`): where the linter proves properties of the *source*,
+this package checks properties of a *run* —
+
+* :mod:`repro.sanitize.stream` — happens-before/event-clock invariants
+  over recorded :class:`~repro.obs.tracer.TraceEvent` streams
+  (per-disk clock monotonicity, double-charged pages, the
+  trace/counter oracle);
+* :mod:`repro.sanitize.replay` — tie-break permutation replay: rerun a
+  simulation under permuted same-timestamp orderings and diff the
+  outputs;
+* :mod:`repro.sanitize.runtime` — global-RNG drift detection around a
+  run.
+
+All checks emit the shared :class:`repro.lint.findings.Finding` type,
+so text/JSON/SARIF rendering and the CI baseline workflow are identical
+to the linter's::
+
+    python -m repro.sanitize                   # smoke matrix, exit 1 on findings
+    python -m repro.sanitize --format sarif    # for code scanning
+
+In tests, use the ``determinism_sanitizer`` fixture (registered via the
+root ``conftest.py`` from :mod:`repro.sanitize.pytest_plugin`).  See
+``docs/sanitizer.md`` for the model.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.cli import build_replay_case, smoke_matrix
+from repro.sanitize.replay import (
+    ReplayCase,
+    RunSummary,
+    replay_check,
+    summarize_report,
+)
+from repro.sanitize.runtime import GlobalRngSnapshot, global_rng_guard
+from repro.sanitize.stream import check_event_stream
+
+__all__ = [
+    "GlobalRngSnapshot",
+    "ReplayCase",
+    "RunSummary",
+    "build_replay_case",
+    "check_event_stream",
+    "global_rng_guard",
+    "replay_check",
+    "smoke_matrix",
+    "summarize_report",
+]

@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro.sanitize``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.sanitize.cli import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""``python -m repro.sanitize`` — run the determinism sanitizer.
+
+The smoke matrix builds one small declustered store per scheme, runs
+each simulator engine against it, and applies all three sanitizer
+layers:
+
+* tie-break permutation replay (:mod:`repro.sanitize.replay`) —
+  query results and per-disk counters must be identical under the
+  simulator's native order and two permuted tie-break seeds;
+* event-stream happens-before checks (:mod:`repro.sanitize.stream`)
+  over a traced run, including the trace/report counter oracle;
+* the global-RNG drift guard (:mod:`repro.sanitize.runtime`) around
+  the whole matrix.
+
+The matrix runs cacheless on purpose: with a shared buffer pool the
+execution order legitimately changes hit/miss patterns, so cached runs
+are *expected* to be order-sensitive and are out of the determinism
+contract.
+
+Exit status and output formats mirror ``repro.lint``: 0 when clean,
+1 on findings, 2 on bad usage; ``--format sarif`` and
+``--baseline``/``--update-baseline`` use the shared SARIF/baseline
+implementations so CI wires both tools identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.lint.baseline import (
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding, error_findings, render_json, \
+    render_text
+from repro.lint.sarif import render_sarif
+from repro.obs.tracer import RecordingTracer
+from repro.parallel.events import EventDrivenSimulator, QueryArrival
+from repro.parallel.paged import PagedStore
+from repro.parallel.throughput import ThroughputSimulator
+from repro.registry import make_declusterer
+from repro.sanitize.replay import ReplayCase, RunSummary, replay_check, \
+    summarize_report
+from repro.sanitize.runtime import global_rng_guard
+from repro.sanitize.stream import check_event_stream
+
+__all__ = [
+    "SMOKE_SCHEMES",
+    "SMOKE_ENGINES",
+    "build_replay_case",
+    "smoke_matrix",
+    "build_parser",
+    "main",
+]
+
+#: The CI smoke matrix: 2 engines x 2 schemes.
+SMOKE_SCHEMES = ("col", "rr")
+SMOKE_ENGINES = ("event", "throughput")
+
+
+def _smoke_data(
+    num_points: int, num_queries: int, dimension: int, seed: int
+) -> Dict[str, np.ndarray]:
+    """Seeded uniform data and query batches for the matrix."""
+    rng = np.random.default_rng(seed)
+    return {
+        "points": rng.random((num_points, dimension)),
+        "queries": rng.random((num_queries, dimension)),
+    }
+
+
+def _tied_arrivals(
+    queries: np.ndarray, k: int, group: int = 4, gap_ms: float = 3.0
+) -> List[QueryArrival]:
+    """Arrivals with deliberate exact timestamp ties.
+
+    Every ``group`` consecutive queries share one arrival time, so the
+    tie-break permutation has real work to do: an order-dependent
+    simulator cannot pass the replay check by accident.
+    """
+    return [
+        QueryArrival(float(index // group) * gap_ms, query, k)
+        for index, query in enumerate(queries)
+    ]
+
+
+def build_replay_case(
+    scheme: str,
+    engine: str,
+    num_points: int = 300,
+    num_queries: int = 24,
+    dimension: int = 6,
+    num_disks: int = 8,
+    k: int = 5,
+    data_seed: int = 7,
+) -> ReplayCase:
+    """One smoke-matrix cell as a cold-start :class:`ReplayCase`.
+
+    ``engine`` is ``"event"`` (timed stream with tied arrivals) or
+    ``"throughput"`` (simultaneous batch).  The store is built once —
+    it is immutable — but each replay constructs a fresh, cacheless
+    simulator so no state leaks between seeds.
+    """
+    if engine not in SMOKE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {SMOKE_ENGINES}"
+        )
+    data = _smoke_data(num_points, num_queries, dimension, data_seed)
+    declusterer = make_declusterer(
+        scheme, dimension=dimension, num_disks=num_disks
+    )
+    store = PagedStore(points=data["points"], declusterer=declusterer)
+    queries = data["queries"]
+
+    def run(seed: Optional[int]) -> RunSummary:
+        """Cold cacheless run of this cell under tie-break ``seed``."""
+        if engine == "event":
+            simulator = EventDrivenSimulator(store)
+            report: object = simulator.run(
+                _tied_arrivals(queries, k),
+                tiebreak_seed=seed,
+                keep_results=True,
+            )
+        else:
+            batch = ThroughputSimulator(store)
+            report = batch.run(
+                queries, k=k, tiebreak_seed=seed, keep_results=True
+            )
+        return summarize_report(report)
+
+    return ReplayCase(name=f"{scheme}/{engine}", run=run)
+
+
+def _traced_stream_findings(
+    scheme: str,
+    case_kwargs: Dict[str, int],
+) -> List[Finding]:
+    """Happens-before + counter-oracle findings for one traced run."""
+    dimension = case_kwargs.get("dimension", 6)
+    num_disks = case_kwargs.get("num_disks", 8)
+    data = _smoke_data(
+        case_kwargs.get("num_points", 300),
+        case_kwargs.get("num_queries", 24),
+        dimension,
+        case_kwargs.get("data_seed", 7),
+    )
+    declusterer = make_declusterer(
+        scheme, dimension=dimension, num_disks=num_disks
+    )
+    store = PagedStore(points=data["points"], declusterer=declusterer)
+    tracer = RecordingTracer()
+    tracer.enabled = True
+    simulator = EventDrivenSimulator(store, tracer=tracer)
+    report = simulator.run(
+        _tied_arrivals(data["queries"], case_kwargs.get("k", 5))
+    )
+    return check_event_stream(
+        tracer.events,
+        pages_per_disk=[int(p) for p in report.pages_per_disk],
+        source=f"sanitize://stream/{scheme}/event",
+    )
+
+
+def smoke_matrix(
+    schemes: Sequence[str] = SMOKE_SCHEMES,
+    engines: Sequence[str] = SMOKE_ENGINES,
+    seeds: Sequence[Optional[int]] = (None, 11, 47),
+    **case_kwargs: int,
+) -> List[Finding]:
+    """Run the full sanitizer matrix; [] means every check passed.
+
+    For each scheme x engine cell the tie-break replay runs under
+    ``seeds``; each scheme additionally gets one traced event run for
+    the stream/oracle checks; the whole matrix runs inside the global
+    RNG guard.
+    """
+    findings: List[Finding] = []
+    with global_rng_guard("sanitize://matrix") as rng_findings:
+        for scheme in schemes:
+            for engine in engines:
+                case = build_replay_case(scheme, engine, **case_kwargs)
+                findings.extend(replay_check(case, seeds=seeds))
+            findings.extend(
+                _traced_stream_findings(scheme, dict(case_kwargs))
+            )
+    findings.extend(rng_findings)
+    return sorted(findings)
+
+
+def _rule_summaries() -> Dict[str, str]:
+    """Sanitizer rule metadata for SARIF output."""
+    return {
+        "sanitize-clock-monotonic": (
+            "simulated event clock violated a happens-before ordering"
+        ),
+        "sanitize-double-charge": (
+            "page_read without a matching buffer-pool cache_miss"
+        ),
+        "sanitize-counter-oracle": (
+            "trace page sums disagree with the report's disk counters"
+        ),
+        "sanitize-replay-divergence": (
+            "run output depends on the tie-break seed"
+        ),
+        "sanitize-unseeded-rng": (
+            "global RNG state advanced during a simulated run"
+        ),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.sanitize`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.sanitize",
+        description="Runtime determinism sanitizer: tie-break replay, "
+        "event-clock happens-before checks, and global-RNG drift "
+        "detection over a simulator smoke matrix.",
+    )
+    parser.add_argument(
+        "--schemes", nargs="+", default=list(SMOKE_SCHEMES),
+        help=f"declustering schemes to cover (default: {SMOKE_SCHEMES})",
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=list(SMOKE_ENGINES),
+        choices=SMOKE_ENGINES,
+        help=f"simulator engines to cover (default: {SMOKE_ENGINES})",
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[11, 47],
+        help="tie-break seeds replayed against the native order "
+        "(default: 11 47)",
+    )
+    parser.add_argument(
+        "--num-points", type=int, default=300,
+        help="dataset size of the smoke store (default: 300)",
+    )
+    parser.add_argument(
+        "--num-queries", type=int, default=24,
+        help="queries per cell (default: 24)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="subtract the findings recorded in FILE before reporting",
+    )
+    parser.add_argument(
+        "--update-baseline", type=Path, default=None, metavar="FILE",
+        help="rewrite FILE from the current findings and exit 0",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    seeds: List[Optional[int]] = [None]
+    seeds.extend(args.seeds)
+    findings = smoke_matrix(
+        schemes=tuple(args.schemes),
+        engines=tuple(args.engines),
+        seeds=seeds,
+        num_points=args.num_points,
+        num_queries=args.num_queries,
+    )
+    if args.update_baseline is not None:
+        write_baseline(args.update_baseline, findings)
+        print(
+            f"baseline {args.update_baseline} updated "
+            f"({len(findings)} findings recorded)"
+        )
+        return 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            print(f"repro.sanitize: {error}", file=sys.stderr)
+            return 2
+        findings = subtract_baseline(findings, baseline)
+    if args.format == "sarif":
+        print(render_sarif(findings, "repro.sanitize", _rule_summaries()))
+    elif args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("0 findings")
+    return 1 if error_findings(findings) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

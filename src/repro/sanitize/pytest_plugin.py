@@ -1,0 +1,92 @@
+"""Pytest integration: the ``determinism_sanitizer`` fixture.
+
+Registered from the repository-root ``conftest.py`` via
+``pytest_plugins``; tests then assert determinism in one line::
+
+    def test_my_engine_is_deterministic(determinism_sanitizer):
+        case = build_replay_case("col", "event")
+        determinism_sanitizer.assert_replay_clean(case)
+
+The fixture wraps the three sanitizer layers (stream checks, tie-break
+replay, RNG guard) behind assertion helpers that raise with the
+rendered findings, so a failure reads like a lint report.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
+
+import pytest
+
+from repro.lint.findings import Finding, render_text
+from repro.obs.tracer import TraceEvent
+from repro.sanitize.replay import ReplayCase, replay_check
+from repro.sanitize.runtime import global_rng_guard
+from repro.sanitize.stream import check_event_stream
+
+__all__ = ["DeterminismSanitizer", "determinism_sanitizer"]
+
+
+class DeterminismSanitizer:
+    """Assertion-style facade over the sanitizer checks."""
+
+    @staticmethod
+    def assert_clean(findings: Sequence[Finding]) -> None:
+        """Raise ``AssertionError`` with a rendered report if non-empty."""
+        if findings:
+            raise AssertionError(
+                "determinism sanitizer found violations:\n"
+                + render_text(list(findings))
+            )
+
+    def check_stream(
+        self,
+        events: Sequence[TraceEvent],
+        pages_per_disk: Optional[Sequence[int]] = None,
+        source: str = "<events>",
+    ) -> List[Finding]:
+        """Happens-before findings for a recorded event stream."""
+        return check_event_stream(
+            events, pages_per_disk=pages_per_disk, source=source
+        )
+
+    def assert_stream_clean(
+        self,
+        events: Sequence[TraceEvent],
+        pages_per_disk: Optional[Sequence[int]] = None,
+        source: str = "<events>",
+    ) -> None:
+        """Assert a recorded event stream upholds every invariant."""
+        self.assert_clean(
+            self.check_stream(events, pages_per_disk, source)
+        )
+
+    def check_replay(
+        self,
+        case: ReplayCase,
+        seeds: Sequence[Optional[int]] = (None, 11, 47),
+    ) -> List[Finding]:
+        """Tie-break replay findings for ``case``."""
+        return replay_check(case, seeds=seeds)
+
+    def assert_replay_clean(
+        self,
+        case: ReplayCase,
+        seeds: Sequence[Optional[int]] = (None, 11, 47),
+    ) -> None:
+        """Assert ``case`` is tie-break deterministic under ``seeds``."""
+        self.assert_clean(self.check_replay(case, seeds))
+
+    @contextmanager
+    def rng_guard(self, source: str = "<test>") -> Iterator[List[Finding]]:
+        """Context manager asserting no global-RNG drift in the block."""
+        with global_rng_guard(source) as findings:
+            yield findings
+        self.assert_clean(findings)
+
+
+@pytest.fixture
+def determinism_sanitizer() -> DeterminismSanitizer:
+    """The sanitizer facade, one fresh instance per test."""
+    return DeterminismSanitizer()

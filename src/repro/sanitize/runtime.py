@@ -1,0 +1,90 @@
+"""Runtime detection of unseeded global-RNG use.
+
+The ``seeded-rng-only`` lint rule catches *syntactic* calls into the
+process-global RNGs; this guard catches the *dynamic* ones it cannot
+see (a dependency drawing from ``numpy.random`` internally, an indirect
+``random.random`` behind ``getattr``).  The mechanism: snapshot both
+global RNG states around a run and flag any drift — deterministic code
+paths never advance them.
+
+This module intentionally reads the global RNG state and is therefore
+exempt from ``seeded-rng-only`` (see the rule's ``default_exempt``).
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.lint.findings import Finding
+
+__all__ = ["UNSEEDED_RNG", "GlobalRngSnapshot", "global_rng_guard"]
+
+UNSEEDED_RNG = "sanitize-unseeded-rng"
+
+
+class GlobalRngSnapshot:
+    """Captured state of the stdlib and numpy global RNGs."""
+
+    def __init__(self) -> None:
+        self.stdlib: Tuple[Any, ...] = random.getstate()
+        self.numpy: Tuple[Any, ...] = tuple(np.random.get_state())
+
+    def diff(self, other: "GlobalRngSnapshot") -> List[str]:
+        """Names of the global RNGs whose state differs from ``other``."""
+        drifted: List[str] = []
+        if self.stdlib != other.stdlib:
+            drifted.append("random")
+        if not _numpy_state_equal(self.numpy, other.numpy):
+            drifted.append("numpy.random")
+        return drifted
+
+
+def _numpy_state_equal(
+    left: Tuple[Any, ...], right: Tuple[Any, ...]
+) -> bool:
+    """Element-wise comparison (the MT19937 key is an ndarray)."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            if not np.array_equal(a, b):
+                return False
+        elif a != b:
+            return False
+    return True
+
+
+@contextmanager
+def global_rng_guard(
+    source: str = "<run>",
+) -> Iterator[List[Finding]]:
+    """Collect ``sanitize-unseeded-rng`` findings for the guarded block.
+
+    Usage::
+
+        with global_rng_guard("smoke/col/event") as findings:
+            simulator.run(arrivals)
+        assert not findings
+
+    The yielded list is filled *on exit* with one finding per global
+    RNG whose state advanced inside the block.
+    """
+    findings: List[Finding] = []
+    before = GlobalRngSnapshot()
+    try:
+        yield findings
+    finally:
+        after = GlobalRngSnapshot()
+        for name in after.diff(before):
+            findings.append(
+                Finding(
+                    source, 0, UNSEEDED_RNG,
+                    f"global {name} state advanced during the guarded "
+                    f"run; some code path draws from the process-global "
+                    f"RNG instead of an injected seeded Generator",
+                )
+            )

@@ -1,0 +1,182 @@
+"""Happens-before checks over recorded trace-event streams.
+
+The observability layer gives every simulated run an event-clock
+ordering: a :class:`~repro.obs.tracer.RecordingTracer` stamps each
+event with a latency-model timestamp (``t_ms``) and a global emission
+sequence number (``seq``).  The simulators' correctness contracts are
+*happens-before* statements over that ordering, and this module checks
+them after the fact:
+
+* ``sanitize-clock-monotonic`` — a disk serves one query's pages
+  sequentially, so within a query span a disk's ``page_read`` clock is
+  strictly increasing; stream ``query_arrival`` stamps are nondecreasing
+  in emission order, and every ``query_completion`` happens at or after
+  its arrival.
+* ``sanitize-double-charge`` — with a buffer pool attached, every
+  ``page_read`` must be justified by a preceding ``cache_miss`` of the
+  same (query, disk) with matching page count; an excess read means the
+  same page was charged to the disks twice.
+* ``sanitize-counter-oracle`` — the per-disk ``page_read`` sums must
+  equal the run report's ``pages_per_disk`` counters bit-for-bit (the
+  tracer/DiskArray oracle contract from PR 3).
+
+Findings reuse :class:`repro.lint.findings.Finding`; the ``path`` is
+the caller-supplied stream label and the ``line`` is the offending
+event's ``seq``, so a finding points at one event in the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.obs.tracer import TraceEvent
+
+__all__ = [
+    "CLOCK_MONOTONIC",
+    "DOUBLE_CHARGE",
+    "COUNTER_ORACLE",
+    "check_event_stream",
+]
+
+CLOCK_MONOTONIC = "sanitize-clock-monotonic"
+DOUBLE_CHARGE = "sanitize-double-charge"
+COUNTER_ORACLE = "sanitize-counter-oracle"
+
+
+def _check_clocks(
+    events: Sequence[TraceEvent], source: str
+) -> List[Finding]:
+    """Monotonicity findings: disk clocks, arrivals, completions."""
+    findings: List[Finding] = []
+    disk_clock: Dict[Tuple[int, int], float] = {}
+    last_arrival: Optional[float] = None
+    arrival_at: Dict[int, float] = {}
+    for event in events:
+        if event.kind == "page_read":
+            key = (event.query, event.disk)
+            previous = disk_clock.get(key)
+            if previous is not None and event.t_ms <= previous:
+                findings.append(
+                    Finding(
+                        source, event.seq, CLOCK_MONOTONIC,
+                        f"page_read clock went backwards on disk "
+                        f"{event.disk} of query {event.query}: "
+                        f"{event.t_ms} after {previous} (a disk serves "
+                        f"one query's pages sequentially)",
+                    )
+                )
+            disk_clock[key] = event.t_ms
+        elif event.kind == "query_arrival":
+            if last_arrival is not None and event.t_ms < last_arrival:
+                findings.append(
+                    Finding(
+                        source, event.seq, CLOCK_MONOTONIC,
+                        f"query_arrival at t={event.t_ms} emitted after "
+                        f"an arrival at t={last_arrival}; the stream "
+                        f"must process arrivals in time order",
+                    )
+                )
+            last_arrival = event.t_ms
+            arrival_at[event.query] = event.t_ms
+        elif event.kind == "query_completion":
+            arrived = arrival_at.get(event.query)
+            if arrived is not None and event.t_ms < arrived:
+                findings.append(
+                    Finding(
+                        source, event.seq, CLOCK_MONOTONIC,
+                        f"query {event.query} completed at t={event.t_ms} "
+                        f"before its arrival at t={arrived}",
+                    )
+                )
+    return findings
+
+
+def _check_double_charges(
+    events: Sequence[TraceEvent], source: str
+) -> List[Finding]:
+    """Pair every page_read with an unconsumed matching cache_miss."""
+    caching_queries = {
+        event.query
+        for event in events
+        if event.kind in ("cache_hit", "cache_miss")
+    }
+    if not caching_queries:
+        return []
+    findings: List[Finding] = []
+    pending: Dict[Tuple[int, int], List[int]] = {}
+    for event in events:
+        if event.query not in caching_queries:
+            continue
+        key = (event.query, event.disk)
+        if event.kind == "cache_miss":
+            pending.setdefault(key, []).append(event.pages)
+        elif event.kind == "page_read":
+            queue = pending.get(key, [])
+            if queue and queue[0] == event.pages:
+                queue.pop(0)
+            else:
+                findings.append(
+                    Finding(
+                        source, event.seq, DOUBLE_CHARGE,
+                        f"page_read of {event.pages} page(s) on disk "
+                        f"{event.disk} of query {event.query} has no "
+                        f"matching unconsumed cache_miss; the page was "
+                        f"charged to the disks without (or beyond) a "
+                        f"buffer-pool miss",
+                    )
+                )
+    return findings
+
+
+def _check_counter_oracle(
+    events: Sequence[TraceEvent],
+    pages_per_disk: Sequence[int],
+    source: str,
+) -> List[Finding]:
+    """Diff traced per-disk page sums against the report counters."""
+    traced: Dict[int, int] = {}
+    for event in events:
+        if event.kind == "page_read" and event.disk >= 0:
+            traced[event.disk] = traced.get(event.disk, 0) + event.pages
+    findings: List[Finding] = []
+    for disk, reported in enumerate(pages_per_disk):
+        observed = traced.pop(disk, 0)
+        if observed != int(reported):
+            findings.append(
+                Finding(
+                    source, 0, COUNTER_ORACLE,
+                    f"disk {disk}: trace shows {observed} page reads but "
+                    f"the report counter says {int(reported)}; the "
+                    f"tracer/DiskArray oracle contract is broken",
+                )
+            )
+    for disk, observed in sorted(traced.items()):
+        findings.append(
+            Finding(
+                source, 0, COUNTER_ORACLE,
+                f"disk {disk}: trace shows {observed} page reads but the "
+                f"report has no counter for that disk",
+            )
+        )
+    return findings
+
+
+def check_event_stream(
+    events: Sequence[TraceEvent],
+    pages_per_disk: Optional[Sequence[int]] = None,
+    source: str = "<events>",
+) -> List[Finding]:
+    """Run every stream invariant over ``events``; [] when clean.
+
+    ``pages_per_disk`` (the run report's per-disk counters) enables the
+    counter-oracle cross-check; without it only the event-local
+    invariants run.  ``source`` labels the findings' ``path`` field.
+    """
+    findings = _check_clocks(events, source)
+    findings.extend(_check_double_charges(events, source))
+    if pages_per_disk is not None:
+        findings.extend(
+            _check_counter_oracle(events, pages_per_disk, source)
+        )
+    return sorted(findings)

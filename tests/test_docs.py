@@ -1,11 +1,13 @@
 """Documentation health checks.
 
 Runs the same checks as the CI ``docs`` job: every relative markdown
-link in the repo's documentation set resolves, and the generated metric
+link in the repo's documentation set resolves, the committed benchmark
+result tables match ``repro.result_table/v1``, and the generated metric
 catalogue in ``docs/observability.md`` matches the code (the latter is
 covered in ``tests/test_obs.py``).
 """
 
+import json
 import pathlib
 import sys
 
@@ -17,6 +19,7 @@ from check_markdown_links import (  # noqa: E402
     find_broken_links,
     main,
 )
+import check_result_tables  # noqa: E402
 
 
 class TestRepoDocs:
@@ -56,3 +59,46 @@ class TestFindBrokenLinks:
         bad.write_text("[gone](missing/file.md)\n")
         assert main([str(bad)]) == 1
         assert "broken link" in capsys.readouterr().out
+
+
+VALID_TABLE = {
+    "schema": "repro.result_table/v1",
+    "title": "t",
+    "columns": ["a", "b"],
+    "rows": [[1, 2.5], ["x", None]],
+    "notes": ["n"],
+}
+
+
+class TestResultTables:
+    def test_committed_tables_are_schema_valid(self):
+        files = check_result_tables.default_files(REPO_ROOT)
+        assert files, "expected committed benchmarks/results/*.json"
+        problems = check_result_tables.validate_files(files)
+        assert problems == [], "\n".join(
+            f"{path}: {problem}" for path, problem in problems
+        )
+
+    def test_valid_table_passes(self):
+        assert check_result_tables.validate_table(VALID_TABLE) == []
+
+    def test_schema_and_shape_violations_are_reported(self):
+        bad = dict(VALID_TABLE, schema="v2", rows=[[1]], extra=3)
+        problems = check_result_tables.validate_table(bad)
+        assert any("schema" in p for p in problems)
+        assert any("row 0 has 1 cells" in p for p in problems)
+        assert any("unexpected keys: extra" in p for p in problems)
+
+    def test_non_scalar_cell_is_reported(self):
+        bad = dict(VALID_TABLE, rows=[[1, {"nested": True}]])
+        problems = check_result_tables.validate_table(bad)
+        assert any("non-scalar" in p for p in problems)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(VALID_TABLE))
+        assert check_result_tables.main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert check_result_tables.main([str(bad)]) == 1
+        assert "unreadable JSON" in capsys.readouterr().out

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.declustering import Declusterer
-from repro.registry import DECLUSTERERS, available_schemes, make_declusterer
+from repro.registry import (
+    DECLUSTERERS,
+    SCHEME_ALIASES,
+    available_schemes,
+    make_declusterer,
+    resolve_scheme,
+)
 
 
 class TestRegistry:
@@ -30,6 +36,26 @@ class TestRegistry:
             "new+rec", dimension=3, num_disks=4, max_levels=2
         )
         assert recursive.max_levels == 2
+
+    @pytest.mark.parametrize(
+        "alias", ["col", "col+rec", "opt", "rr", "dm", "fx", "hil"]
+    )
+    def test_every_alias_round_trips_to_a_canonical_scheme(self, alias):
+        """Aliases resolve, construct, and land on a registered name."""
+        canonical = resolve_scheme(alias)
+        assert canonical in DECLUSTERERS
+        declusterer = make_declusterer(alias, dimension=3, num_disks=4)
+        assert isinstance(declusterer, Declusterer)
+        assert declusterer.name == canonical
+        assert type(declusterer) is DECLUSTERERS[canonical]
+
+    def test_alias_table_targets_are_all_registered(self):
+        for alias, canonical in SCHEME_ALIASES.items():
+            assert canonical in DECLUSTERERS, alias
+
+    def test_resolve_scheme_is_identity_on_canonical_names(self):
+        for name in DECLUSTERERS:
+            assert resolve_scheme(name) == name
 
     def test_unknown_scheme_lists_known_names(self):
         with pytest.raises(ValueError, match="HIL"):
