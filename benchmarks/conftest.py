@@ -7,8 +7,19 @@ traced to a concrete run.  Every table is written twice: ``<name>.txt``
 ``repro.result_table/v1`` schema from :func:`repro.obs.table_to_json`)
 so downstream tooling can track the perf trajectory without parsing
 ASCII tables.
+
+The pytest-benchmark micro suites (``bench_micro_core.py``,
+``bench_micro_index.py``) additionally support ``--json PATH``: after
+the run, a compact ``repro.microbench/v1`` document with per-benchmark
+timing statistics is written to ``PATH``, so future PRs append machine
+numbers to the perf trajectory instead of parsing pytest's terminal
+tables::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_index.py \\
+        --json micro_index.json
 """
 
+import json
 import pathlib
 
 import pytest
@@ -16,6 +27,7 @@ import pytest
 from repro.obs import table_to_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+MICROBENCH_SCHEMA = "repro.microbench/v1"
 
 
 @pytest.fixture
@@ -34,3 +46,44 @@ def record_table():
         return table
 
     return recorder
+
+
+def pytest_addoption(parser):
+    """Register ``--json PATH`` for machine-readable micro-bench stats."""
+    parser.addoption(
+        "--json",
+        action="store",
+        metavar="PATH",
+        default=None,
+        help="write per-benchmark timing stats (repro.microbench/v1 "
+             "JSON) to PATH after the run",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump pytest-benchmark statistics to the ``--json`` target."""
+    target = session.config.getoption("--json")
+    if not target:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    records = []
+    for bench in getattr(bench_session, "benchmarks", None) or []:
+        if bench.has_error:
+            continue
+        stats = bench.stats
+        records.append({
+            "name": bench.name,
+            "fullname": bench.fullname,
+            "group": bench.group,
+            "rounds": stats.rounds,
+            "iterations": bench.iterations,
+            "mean_s": stats.mean,
+            "stddev_s": stats.stddev,
+            "median_s": stats.median,
+            "min_s": stats.min,
+            "ops": stats.ops,
+        })
+    payload = {"schema": MICROBENCH_SCHEMA, "benchmarks": records}
+    pathlib.Path(target).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.index import kernels
 from repro.index.metrics import Euclidean, Metric
 from repro.index.node import LeafEntry, Node
 from repro.index.rstar import RStarTree
@@ -99,6 +100,35 @@ class _CandidateSet:
         elif sq_distance < -self._heap[0][0]:
             heapq.heapreplace(self._heap, (-sq_distance, oid, point))
 
+    def offer_many(
+        self, keys: np.ndarray, entries: Sequence[LeafEntry]
+    ) -> None:
+        """Offer a whole leaf's entries at once (vectorized bound filter).
+
+        Exactly equivalent to calling :meth:`offer` per entry in order:
+        after warming the heap to ``k`` elements, a single NumPy mask
+        drops every key that fails the *current* bound — exact because
+        the bound only tightens during the loop, so a key rejected
+        against the bound at mask time could never be accepted later.
+        Survivors are re-checked in order against the live bound.
+        """
+        heap = self._heap
+        start = 0
+        total = len(entries)
+        while len(heap) < self.k and start < total:
+            entry = entries[start]
+            heapq.heappush(heap, (-float(keys[start]), entry.oid, entry.point))
+            start += 1
+        if start >= total:
+            return
+        bound = -heap[0][0]
+        for offset in np.nonzero(keys[start:] < bound)[0]:
+            index = start + int(offset)
+            key = float(keys[index])
+            if key < -heap[0][0]:
+                entry = entries[index]
+                heapq.heapreplace(heap, (-key, entry.oid, entry.point))
+
     def neighbors(self, metric: Metric = _EUCLIDEAN) -> List[Neighbor]:
         ordered = sorted(
             ((-neg, oid, point) for neg, oid, point in self._heap)
@@ -128,6 +158,7 @@ def knn_best_first(
     k: int = 1,
     metric: Optional[Metric] = None,
     on_node: Optional[Callable[[Node], None]] = None,
+    use_kernels: Optional[bool] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """HS 95 incremental best-first kNN.
 
@@ -140,9 +171,13 @@ def knn_best_first(
     :mod:`repro.index.metrics`.  ``on_node`` is invoked for every visited
     node in traversal order — callers that need the page-level access
     trace (e.g. a buffer pool) hook in here instead of re-deriving it from
-    the aggregate :class:`SearchStats`.
+    the aggregate :class:`SearchStats`.  ``use_kernels`` selects the
+    vectorized traversal kernels (:mod:`repro.index.kernels`); ``None``
+    defers to the ``REPRO_SCALAR_KERNELS`` environment variable.  Both
+    paths produce bit-identical results and counters.
     """
     metric = metric or _EUCLIDEAN
+    vectorized = kernels.kernels_enabled(use_kernels)
     query = np.asarray(query, dtype=float)
     stats = SearchStats()
     candidates = _CandidateSet(k)
@@ -159,9 +194,26 @@ def knn_best_first(
             on_node(node)
         if node.is_leaf:
             if node.entries:
-                keys, entries = _leaf_distances(node, query, stats, metric)
-                for key, entry in zip(keys, entries):
-                    candidates.offer(float(key), entry.oid, entry.point)
+                if vectorized:
+                    kernels.offer_leaf(candidates, node, query, stats, metric)
+                else:
+                    keys, entries = _leaf_distances(node, query, stats, metric)
+                    for key, entry in zip(keys, entries):
+                        candidates.offer(float(key), entry.oid, entry.point)
+        elif vectorized:
+            # The bound cannot change while expanding a directory node, so
+            # one mask reproduces the per-child test — including which
+            # children consume a tiebreak value, in the same order.
+            child_keys = kernels.child_mindists(node, query, metric)
+            for index in np.nonzero(child_keys <= candidates.bound)[0]:
+                heapq.heappush(
+                    queue,
+                    (
+                        float(child_keys[index]),
+                        next(tiebreak),
+                        node.entries[index],
+                    ),
+                )
         else:
             for child in node.entries:
                 child_mindist = metric.mindist(child.mbr, query)
@@ -177,6 +229,7 @@ def knn_branch_and_bound(
     query: Sequence[float],
     k: int = 1,
     metric: Optional[Metric] = None,
+    use_kernels: Optional[bool] = None,
 ) -> Tuple[List[Neighbor], SearchStats]:
     """RKV 95 depth-first branch-and-bound kNN.
 
@@ -184,10 +237,12 @@ def knn_branch_and_bound(
     their ``mindist`` exceeds the current k-th distance, and (for k = 1
     under the default Euclidean metric) when it exceeds the smallest
     sibling ``minmaxdist`` — the "all partition lists may be pruned" rule
-    of the paper's Section 2.
+    of the paper's Section 2.  ``use_kernels`` selects the vectorized
+    kernels as in :func:`knn_best_first`.
     """
     custom_metric = metric is not None
     metric = metric or _EUCLIDEAN
+    vectorized = kernels.kernels_enabled(use_kernels)
     query = np.asarray(query, dtype=float)
     stats = SearchStats()
     candidates = _CandidateSet(k)
@@ -198,22 +253,37 @@ def knn_branch_and_bound(
         stats.record(node)
         if node.is_leaf:
             if node.entries:
-                keys, entries = _leaf_distances(node, query, stats, metric)
-                for key, entry in zip(keys, entries):
-                    candidates.offer(float(key), entry.oid, entry.point)
+                if vectorized:
+                    kernels.offer_leaf(candidates, node, query, stats, metric)
+                else:
+                    keys, entries = _leaf_distances(node, query, stats, metric)
+                    for key, entry in zip(keys, entries):
+                        candidates.offer(float(key), entry.oid, entry.point)
             return
-        branches = sorted(
-            ((metric.mindist(child.mbr, query), index, child)
-             for index, child in enumerate(node.entries)),
-        )
+        if vectorized:
+            child_keys = kernels.child_mindists(node, query, metric)
+            branches = sorted(
+                (float(child_keys[index]), index, child)
+                for index, child in enumerate(node.entries)
+            )
+        else:
+            branches = sorted(
+                ((metric.mindist(child.mbr, query), index, child)
+                 for index, child in enumerate(node.entries)),
+            )
         if k == 1 and not custom_metric:
             # MM-pruning: some sibling guarantees a point within its
             # minmaxdist, so children farther than the best guarantee can
             # never host the nearest neighbor.  (The bound is derived for
             # squared Euclidean keys, so it is skipped for custom metrics.)
-            best_guarantee = min(
-                child.mbr.minmaxdist(query) for _, _, child in branches
-            )
+            if vectorized:
+                best_guarantee = float(
+                    kernels.child_minmaxdists(node, query).min()
+                )
+            else:
+                best_guarantee = min(
+                    child.mbr.minmaxdist(query) for _, _, child in branches
+                )
         else:
             best_guarantee = float("inf")
         for mindist, _, child in branches:
@@ -251,23 +321,45 @@ def knn_linear_scan(
 
 
 def pages_intersecting_radius(
-    tree: RStarTree, query: Sequence[float], radius: float
+    tree: RStarTree,
+    query: Sequence[float],
+    radius: float,
+    use_kernels: Optional[bool] = None,
 ) -> int:
     """Pages any correct NN algorithm must read for the given kNN radius.
 
     Counts the pages of all nodes whose MBR intersects the sphere of
     (Euclidean) ``radius`` around ``query`` — the paper's "data pages
-    intersecting the NN-sphere" (Section 3.1).
+    intersecting the NN-sphere" (Section 3.1).  The sphere test is
+    applied when a child is pushed (one batched ``mindist`` call per
+    directory node under the vectorized kernels); children of a
+    non-empty directory always have an MBR, so only the root needs the
+    ``None`` guard.
     """
     query = np.asarray(query, dtype=float)
     sq_radius = radius * radius
-    pages = 0
-    stack = [tree.root]
+    vectorized = kernels.kernels_enabled(use_kernels)
+    root = tree.root
+    if root.mbr is None or root.mbr.mindist(query) > sq_radius:
+        return 0
+    pages = root.blocks
+    stack: List[Node] = [] if root.is_leaf else [root]
     while stack:
         node = stack.pop()
-        if node.mbr is None or node.mbr.mindist(query) > sq_radius:
-            continue
-        pages += node.blocks
-        if not node.is_leaf:
-            stack.extend(node.entries)
+        if vectorized:
+            child_keys = kernels.child_mindists(node, query)
+            hits = [
+                node.entries[index]
+                for index in np.nonzero(child_keys <= sq_radius)[0]
+            ]
+        else:
+            hits = [
+                child
+                for child in node.entries
+                if child.mbr.mindist(query) <= sq_radius
+            ]
+        for child in hits:
+            pages += child.blocks
+            if not child.is_leaf:
+                stack.append(child)
     return pages

@@ -137,11 +137,17 @@ class MBR:
 
         Zero when the query lies inside.  This is the priority used by the
         HS 95 incremental best-first traversal.
+
+        The reduction is ``np.add.reduce`` rather than a BLAS dot product:
+        row-wise ``add.reduce`` over a 2-D batch is bit-identical to the
+        1-D case, which is what lets the vectorized per-node kernels
+        (:mod:`repro.index.kernels`) reproduce this value exactly — BLAS
+        ``gap @ gap`` rounds differently from any batched reduction.
         """
         below = self.low - query
         above = query - self.high
         gap = np.maximum(np.maximum(below, above), 0.0)
-        return float(gap @ gap)
+        return float(np.add.reduce(gap * gap))
 
     def minmaxdist(self, query: np.ndarray) -> float:
         """Squared RKV 95 bound: the rectangle is *guaranteed* to contain a

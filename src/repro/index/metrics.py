@@ -45,6 +45,27 @@ class Metric(abc.ABC):
     def mindist(self, box: MBR, query: np.ndarray) -> float:
         """Lower bound of the ranking key over all points in ``box``."""
 
+    def mindist_many(
+        self, lows: np.ndarray, highs: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        """``mindist`` for a batch of boxes given as ``(N, d)`` bound arrays.
+
+        Row ``i`` must equal ``mindist(MBR(lows[i], highs[i]), query)``
+        bit-for-bit — the vectorized traversal kernels
+        (:mod:`repro.index.kernels`) rely on exact agreement so that
+        pruning decisions, and therefore page counts, match the scalar
+        path.  The default implementation delegates to :meth:`mindist`
+        per row (exact by construction, but slow); the built-in metrics
+        override it with genuinely batched code.
+        """
+        return np.array(
+            [
+                self.mindist(MBR(low, high), query)
+                for low, high in zip(lows, highs)
+            ],
+            dtype=float,
+        )
+
     @abc.abstractmethod
     def key_to_distance(self, key: float) -> float:
         """Convert a ranking key back to the actual distance."""
@@ -65,6 +86,12 @@ class Euclidean(Metric):
 
     def mindist(self, box: MBR, query: np.ndarray) -> float:
         return box.mindist(query)
+
+    def mindist_many(
+        self, lows: np.ndarray, highs: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        gap = np.maximum(np.maximum(lows - query, query - highs), 0.0)
+        return np.add.reduce(gap * gap, axis=1)
 
     def key_to_distance(self, key: float) -> float:
         return math.sqrt(key)
@@ -92,7 +119,15 @@ class WeightedEuclidean(Metric):
         below = box.low - query
         above = query - box.high
         gap = np.maximum(np.maximum(below, above), 0.0)
-        return float(self.weights @ (gap * gap))
+        # add.reduce (not weights @ gap²) so the batched kernel below is
+        # bit-identical per row; see MBR.mindist.
+        return float(np.add.reduce(self.weights * (gap * gap)))
+
+    def mindist_many(
+        self, lows: np.ndarray, highs: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        gap = np.maximum(np.maximum(lows - query, query - highs), 0.0)
+        return np.add.reduce(self.weights * (gap * gap), axis=1)
 
     def key_to_distance(self, key: float) -> float:
         return math.sqrt(key)
@@ -123,6 +158,14 @@ class LpMetric(Metric):
         if self._is_max:
             return float(gap.max())
         return float((gap**self.p).sum())
+
+    def mindist_many(
+        self, lows: np.ndarray, highs: np.ndarray, query: np.ndarray
+    ) -> np.ndarray:
+        gap = np.maximum(np.maximum(lows - query, query - highs), 0.0)
+        if self._is_max:
+            return gap.max(axis=1)
+        return (gap**self.p).sum(axis=1)
 
     def key_to_distance(self, key: float) -> float:
         if self._is_max:

@@ -79,7 +79,10 @@ class Node:
         the X-tree's overlap-minimal split.
     """
 
-    __slots__ = ("is_leaf", "entries", "mbr", "blocks", "split_history")
+    __slots__ = (
+        "is_leaf", "entries", "mbr", "blocks", "split_history",
+        "_kernel_cache",
+    )
 
     def __init__(
         self,
@@ -93,6 +96,12 @@ class Node:
         self.blocks = blocks
         self.split_history: Set[int] = set(split_history or ())
         self.mbr: Optional[MBR] = None
+        #: Lazily built contiguous entry arrays (see
+        #: :mod:`repro.index.kernels`); dropped whenever the node's
+        #: geometry changes.  Every entry mutation in the tree code runs
+        #: through :meth:`recompute_mbr` or :meth:`extend_mbr`, so those
+        #: two methods are the invalidation points.
+        self._kernel_cache: Optional[tuple] = None
         if self.entries:
             self.recompute_mbr()
 
@@ -100,6 +109,7 @@ class Node:
 
     def recompute_mbr(self) -> None:
         """Recompute the tight MBR from the current entries."""
+        self._kernel_cache = None
         if not self.entries:
             self.mbr = None
             return
@@ -111,6 +121,7 @@ class Node:
 
     def extend_mbr(self, entry_mbr: MBR) -> None:
         """Grow the node MBR to cover a newly added entry."""
+        self._kernel_cache = None
         if self.mbr is None:
             self.mbr = entry_mbr.copy()
         else:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Optional, Union
+from typing import Hashable, Iterable, Optional, Union
 
 import numpy as np
 
@@ -35,6 +35,7 @@ __all__ = [
     "LRUCache",
     "BufferPool",
     "as_buffer_pool",
+    "merge_cache_stats",
 ]
 
 _POLICIES = ("shared", "per_disk")
@@ -265,6 +266,34 @@ class BufferPool:
             f"capacity_pages={self.capacity_pages}, "
             f"policy={self.config.policy!r})"
         )
+
+
+def merge_cache_stats(
+    deltas: Iterable[Optional[CacheStats]],
+) -> Optional[CacheStats]:
+    """Sum per-query :class:`CacheStats` deltas into one batch aggregate.
+
+    ``None`` entries (queries run without a pool) contribute nothing;
+    the result is ``None`` when every entry is ``None`` — mirroring how
+    the engines report ``cache_stats`` on a single query.
+    """
+    merged: Optional[CacheStats] = None
+    for delta in deltas:
+        if delta is None:
+            continue
+        if merged is None:
+            merged = CacheStats(
+                hits_per_disk=np.zeros_like(delta.hits_per_disk),
+                misses_per_disk=np.zeros_like(delta.misses_per_disk),
+            )
+        merged.hits += delta.hits
+        merged.misses += delta.misses
+        merged.evictions += delta.evictions
+        merged.hits_per_disk = merged.hits_per_disk + delta.hits_per_disk
+        merged.misses_per_disk = (
+            merged.misses_per_disk + delta.misses_per_disk
+        )
+    return merged
 
 
 def as_buffer_pool(

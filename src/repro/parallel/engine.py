@@ -46,6 +46,7 @@ from typing import List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
+from repro.index import kernels
 from repro.index.knn import (
     Neighbor,
     SearchStats,
@@ -64,11 +65,13 @@ from repro.parallel.cache import (
     CacheConfig,
     CacheStats,
     as_buffer_pool,
+    merge_cache_stats,
 )
 from repro.parallel.disks import DiskArray, DiskParameters
 from repro.parallel.store import DeclusteredStore
 
 __all__ = [
+    "BatchQueryResult",
     "ParallelQueryResult",
     "ParallelEngine",
     "SequentialQueryResult",
@@ -107,13 +110,93 @@ class ParallelQueryResult:
 
 @dataclass
 class SequentialQueryResult:
-    """Outcome of one single-disk kNN query."""
+    """Outcome of one single-disk kNN query.
+
+    Exposes the same ``pages_per_disk`` / ``max_pages`` / ``total_pages``
+    surface as :class:`ParallelQueryResult` (a single-disk engine is a
+    one-element disk array), so batch aggregation and reporting code can
+    treat every engine uniformly.
+    """
 
     neighbors: List[Neighbor]
     stats: SearchStats
     time_ms: float
     pages: int = 0
     cache_stats: Optional[CacheStats] = None
+
+    @property
+    def pages_per_disk(self) -> np.ndarray:
+        """The single disk's page count as a one-element array."""
+        return np.array([self.pages], dtype=np.int64)
+
+    @property
+    def max_pages(self) -> int:
+        """Pages read by the busiest (only) disk."""
+        return self.pages
+
+    @property
+    def total_pages(self) -> int:
+        """Pages read in total."""
+        return self.pages
+
+
+class BatchQueryResult:
+    """Aggregated outcome of one ``query_batch`` call.
+
+    Behaves as a sequence of the per-query results (``len``, iteration,
+    indexing — existing per-query consumers keep working) while exposing
+    batch-level aggregates uniformly across :class:`ParallelEngine`,
+    :class:`SequentialEngine`, and
+    :class:`~repro.parallel.paged.PagedEngine`:
+
+    * ``pages_per_disk`` — per-disk reads summed over the batch;
+    * ``max_pages`` — the busiest disk's total over the whole batch (the
+      batch's parallel cost under the paper's accounting);
+    * ``total_pages`` — reads across all disks and queries;
+    * ``cache_stats`` — the merged per-query deltas (``None`` when the
+      engine has no buffer pool).
+    """
+
+    def __init__(self, results: Sequence, num_disks: int):
+        self.results = list(results)
+        pages = np.zeros(num_disks, dtype=np.int64)
+        for result in self.results:
+            pages += result.pages_per_disk
+        self.pages_per_disk = pages
+        self.cache_stats = merge_cache_stats(
+            result.cache_stats for result in self.results
+        )
+
+    @property
+    def max_pages(self) -> int:
+        """Pages read by the busiest disk over the whole batch."""
+        return int(self.pages_per_disk.max()) if self.pages_per_disk.size \
+            else 0
+
+    @property
+    def total_pages(self) -> int:
+        """Pages read across all disks and queries."""
+        return int(self.pages_per_disk.sum())
+
+    @property
+    def neighbors(self) -> List[List[Neighbor]]:
+        """Per-query neighbor lists, in input order."""
+        return [result.neighbors for result in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchQueryResult(queries={len(self.results)}, "
+            f"total_pages={self.total_pages}, max_pages={self.max_pages})"
+        )
 
 
 class ParallelEngine:
@@ -131,6 +214,11 @@ class ParallelEngine:
     ``tracer`` attaches an observability tracer (see :mod:`repro.obs`);
     when omitted, the ambient :func:`repro.obs.observe` tracer — if any —
     is used, and otherwise the zero-overhead null tracer.
+
+    ``use_kernels`` selects the vectorized traversal kernels
+    (:mod:`repro.index.kernels`); the default ``None`` defers to the
+    ``REPRO_SCALAR_KERNELS`` environment variable at query time.  Both
+    paths produce bit-identical results and counters.
     """
 
     def __init__(
@@ -140,6 +228,7 @@ class ParallelEngine:
         count_directory: bool = False,
         cache: CacheSpec = None,
         tracer: Optional[Tracer] = None,
+        use_kernels: Optional[bool] = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
@@ -150,6 +239,7 @@ class ParallelEngine:
             cache, store.num_disks, store.page_bytes
         )
         self.tracer = tracer
+        self.use_kernels = use_kernels
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
@@ -199,12 +289,33 @@ class ParallelEngine:
             f"mode must be 'coordinated' or 'independent', got {mode!r}"
         )
 
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 1,
+        mode: str = "coordinated",
+    ) -> BatchQueryResult:
+        """Run a batch of kNN queries sharing this engine's buffer pool.
+
+        The query matrix is converted to float64 once up front (each
+        query is then a zero-copy row view), and the buffer pool — when
+        one is attached — stays warm across the batch, so later queries
+        hit the pages earlier ones pulled in.  Per-query results are
+        identical to issuing :meth:`query` calls one by one.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        return BatchQueryResult(
+            [self.query(query, k, mode) for query in queries],
+            self.store.num_disks,
+        )
+
     # ----------------------------------------------------- coordinated
 
     def _query_coordinated(
         self, query: Sequence[float], k: int
     ) -> ParallelQueryResult:
         query = np.asarray(query, dtype=float)
+        vectorized = kernels.kernels_enabled(self.use_kernels)
         disks = DiskArray(self.store.num_disks, self.parameters)
         cache_before = self.cache.stats() if self.cache else None
         tracer = self._active_tracer()
@@ -235,10 +346,43 @@ class ParallelEngine:
                 self._fetch(disks, disk, node, node.blocks, tracer, span)
             if node.is_leaf:
                 if node.entries:
-                    sq, entries = _leaf_distances(node, query, stats)
-                    for distance, entry in zip(sq, entries):
-                        candidates.offer(
-                            float(distance), entry.oid, entry.point
+                    if vectorized:
+                        kernels.offer_leaf(candidates, node, query, stats)
+                    else:
+                        sq, entries = _leaf_distances(node, query, stats)
+                        for distance, entry in zip(sq, entries):
+                            candidates.offer(
+                                float(distance), entry.oid, entry.point
+                            )
+            elif vectorized:
+                child_keys = kernels.child_mindists(node, query)
+                if tracer.enabled:
+                    # Walk every child in order so the per-child prune
+                    # events match the scalar trace exactly.
+                    for index, child in enumerate(node.entries):
+                        child_mindist = float(child_keys[index])
+                        if child_mindist <= candidates.bound:
+                            heapq.heappush(
+                                queue,
+                                (child_mindist, next(tiebreak), disk, child),
+                            )
+                        else:
+                            tracer.prune(span, disk)
+                else:
+                    # The bound cannot change while expanding a node, so
+                    # one mask reproduces the per-child test — including
+                    # which children consume a tiebreak value, in order.
+                    for index in np.nonzero(
+                        child_keys <= candidates.bound
+                    )[0]:
+                        heapq.heappush(
+                            queue,
+                            (
+                                float(child_keys[index]),
+                                next(tiebreak),
+                                disk,
+                                node.entries[index],
+                            ),
                         )
             else:
                 for child in node.entries:
@@ -293,7 +437,9 @@ class ParallelEngine:
             if not tree.size:
                 continue
             if self.cache is None and not tracer.enabled:
-                neighbors, stats = knn_best_first(tree, query, k)
+                neighbors, stats = knn_best_first(
+                    tree, query, k, use_kernels=self.use_kernels
+                )
                 pages = (
                     stats.page_accesses
                     if self.count_directory
@@ -313,7 +459,8 @@ class ParallelEngine:
                     )
 
                 neighbors, stats = knn_best_first(
-                    tree, query, k, on_node=on_node
+                    tree, query, k, on_node=on_node,
+                    use_kernels=self.use_kernels,
                 )
             distance_computations += stats.distance_computations
             for neighbor in neighbors:
@@ -354,6 +501,7 @@ class SequentialEngine:
         count_directory: bool = False,
         cache: CacheSpec = None,
         tracer: Optional[Tracer] = None,
+        use_kernels: Optional[bool] = None,
     ):
         self.parameters = parameters or DiskParameters(page_bytes=page_bytes)
         self.count_directory = count_directory
@@ -365,6 +513,7 @@ class SequentialEngine:
             )
         self.cache = as_buffer_pool(cache, 1, page_bytes)
         self.tracer = tracer
+        self.use_kernels = use_kernels
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
@@ -398,7 +547,9 @@ class SequentialEngine:
                 service_ms=self.parameters.page_service_time_ms,
             )
         if self.cache is None and not tracer.enabled:
-            neighbors, stats = knn_best_first(self.tree, query, k)
+            neighbors, stats = knn_best_first(
+                self.tree, query, k, use_kernels=self.use_kernels
+            )
             pages = (
                 stats.page_accesses
                 if self.count_directory
@@ -427,7 +578,8 @@ class SequentialEngine:
                     tracer.page_read(span, 0, node_pages)
 
             neighbors, stats = knn_best_first(
-                self.tree, query, k, on_node=on_node
+                self.tree, query, k, on_node=on_node,
+                use_kernels=self.use_kernels,
             )
             pages = charged[0]
             cache_stats = (
@@ -441,4 +593,18 @@ class SequentialEngine:
             )
         return SequentialQueryResult(
             neighbors, stats, time_ms, pages, cache_stats
+        )
+
+    def query_batch(
+        self, queries: np.ndarray, k: int = 1
+    ) -> BatchQueryResult:
+        """Run a batch of kNN queries sharing this engine's buffer pool.
+
+        Same contract as :meth:`ParallelEngine.query_batch`: one up-front
+        float64 conversion, a pool that stays warm across the batch, and
+        per-query results identical to individual :meth:`query` calls.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        return BatchQueryResult(
+            [self.query(query, k) for query in queries], 1
         )

@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.declustering import BucketDeclusterer, Declusterer
+from repro.index import kernels
 from repro.index.bulk import bulk_load
 from repro.index.knn import SearchStats, _CandidateSet, _leaf_distances
 from repro.index.node import DEFAULT_PAGE_BYTES, Node
@@ -36,7 +37,11 @@ from repro.obs.context import current_tracer
 from repro.obs.tracer import Tracer
 from repro.parallel.cache import CacheConfig, as_buffer_pool
 from repro.parallel.disks import DiskArray, DiskParameters
-from repro.parallel.engine import CacheSpec, ParallelQueryResult
+from repro.parallel.engine import (
+    BatchQueryResult,
+    CacheSpec,
+    ParallelQueryResult,
+)
 
 __all__ = [
     "PagedStore",
@@ -193,6 +198,7 @@ class PagedEngine:
         parameters: Optional[DiskParameters] = None,
         cache: CacheSpec = None,
         tracer: Optional[Tracer] = None,
+        use_kernels: Optional[bool] = None,
     ):
         self.store = store
         self.parameters = parameters or DiskParameters(
@@ -202,6 +208,7 @@ class PagedEngine:
             cache = store.cache_config
         self.cache = as_buffer_pool(cache, store.num_disks, store.page_bytes)
         self.tracer = tracer
+        self.use_kernels = use_kernels
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
@@ -215,9 +222,21 @@ class PagedEngine:
 
     def query_batch(
         self, queries: np.ndarray, k: int = 1
-    ) -> List[ParallelQueryResult]:
-        """Run a batch of queries, returning one result per query."""
-        return [self.query(query, k) for query in np.atleast_2d(queries)]
+    ) -> BatchQueryResult:
+        """Run a batch of kNN queries sharing this engine's buffer pool.
+
+        Same contract as
+        :meth:`~repro.parallel.engine.ParallelEngine.query_batch`: the
+        returned aggregate iterates as one
+        :class:`~repro.parallel.engine.ParallelQueryResult` per query
+        (in input order) and exposes the batch-level ``max_pages`` /
+        ``total_pages`` / merged ``cache_stats``.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        return BatchQueryResult(
+            [self.query(query, k) for query in queries],
+            self.store.num_disks,
+        )
 
     def query(self, query: Sequence[float], k: int = 1) -> ParallelQueryResult:
         """Run one kNN query over the shared directory.
@@ -230,6 +249,7 @@ class PagedEngine:
         queue or skips a child subtree.
         """
         query = np.asarray(query, dtype=float)
+        vectorized = kernels.kernels_enabled(self.use_kernels)
         tracer = self._active_tracer()
         traced = tracer.enabled
         span = -1
@@ -281,23 +301,55 @@ class PagedEngine:
                         tracer.page_read(span, disk, node.blocks)
                     disks.charge(disk, node.blocks)
                 if node.entries:
-                    sq, entries = _leaf_distances(node, query, stats)
-                    for distance, entry in zip(sq, entries):
-                        candidates.offer(
-                            float(distance), entry.oid, entry.point
-                        )
+                    if vectorized:
+                        kernels.offer_leaf(candidates, node, query, stats)
+                    else:
+                        sq, entries = _leaf_distances(node, query, stats)
+                        for distance, entry in zip(sq, entries):
+                            candidates.offer(
+                                float(distance), entry.oid, entry.point
+                            )
             else:
                 # Directory page: served from the shared cached directory.
                 if traced:
                     tracer.node_visit(span, -1, leaf=False)
-                for child in node.entries:
-                    child_mindist = child.mbr.mindist(query)
-                    if child_mindist <= candidates.bound:
-                        heapq.heappush(
-                            queue, (child_mindist, next(tiebreak), child)
-                        )
-                    elif traced:
-                        tracer.prune(span)
+                if vectorized:
+                    child_keys = kernels.child_mindists(node, query)
+                    if traced:
+                        # Walk every child in order so the per-child
+                        # prune events match the scalar trace exactly.
+                        for index, child in enumerate(node.entries):
+                            child_mindist = float(child_keys[index])
+                            if child_mindist <= candidates.bound:
+                                heapq.heappush(
+                                    queue,
+                                    (child_mindist, next(tiebreak), child),
+                                )
+                            else:
+                                tracer.prune(span)
+                    else:
+                        # The bound cannot change while expanding a node,
+                        # so one mask reproduces the per-child test.
+                        for index in np.nonzero(
+                            child_keys <= candidates.bound
+                        )[0]:
+                            heapq.heappush(
+                                queue,
+                                (
+                                    float(child_keys[index]),
+                                    next(tiebreak),
+                                    node.entries[index],
+                                ),
+                            )
+                else:
+                    for child in node.entries:
+                        child_mindist = child.mbr.mindist(query)
+                        if child_mindist <= candidates.bound:
+                            heapq.heappush(
+                                queue, (child_mindist, next(tiebreak), child)
+                            )
+                        elif traced:
+                            tracer.prune(span)
         if traced:
             tracer.end_query(
                 span, time_ms=disks.parallel_time_ms,

@@ -15,12 +15,13 @@ unconstrained.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.index import kernels
 from repro.index.mbr import MBR
-from repro.index.node import LeafEntry
+from repro.index.node import LeafEntry, Node
 from repro.obs.context import current_tracer
 from repro.obs.tracer import Tracer
 from repro.parallel.disks import DiskArray, DiskParameters
@@ -55,6 +56,7 @@ def parallel_window_query(
     high: Sequence[float],
     parameters: Optional[DiskParameters] = None,
     tracer: Optional[Tracer] = None,
+    use_kernels: Optional[bool] = None,
 ) -> WindowQueryResult:
     """All points in ``[low, high]``, with per-disk page accounting.
 
@@ -67,6 +69,10 @@ def parallel_window_query(
     ``query_start`` ... ``query_end`` span with ``node_visit`` per
     intersecting node (directory nodes carry ``disk=-1``), ``page_read``
     per data page, and ``prune`` per non-intersecting subtree.
+
+    ``use_kernels`` selects the vectorized intersection kernels
+    (:mod:`repro.index.kernels`); both paths return identical entries,
+    page counts, and — when traced — identical event streams.
     """
     window = MBR(low, high)
     parameters = parameters or DiskParameters(page_bytes=store.page_bytes)
@@ -80,7 +86,7 @@ def parallel_window_query(
         )
     disks = DiskArray(store.num_disks, parameters)
     entries: List[LeafEntry] = []
-    if store.tree.size:
+    if store.tree.size and not kernels.kernels_enabled(use_kernels):
         stack = [store.tree.root]
         while stack:
             node = stack.pop()
@@ -103,6 +109,54 @@ def parallel_window_query(
                 if traced:
                     active.node_visit(span, -1, leaf=False)
                 stack.extend(node.entries)
+    elif store.tree.size:
+        root = store.tree.root
+        if root.mbr is None or not root.mbr.intersects(window):
+            if traced:
+                active.prune(span)
+        else:
+            # Intersection is decided in batch when a node is expanded.
+            # Under a tracer, rejected children are still pushed (with a
+            # False flag) so their ``prune`` events fire at pop time —
+            # exactly where the scalar path emits them.
+            flagged: List[Tuple[Node, bool]] = [(root, True)]
+            while flagged:
+                node, intersecting = flagged.pop()
+                if not intersecting:
+                    # Only pushed when traced, but guard explicitly so
+                    # the null tracer provably stays zero-overhead.
+                    if traced:
+                        active.prune(span)
+                    continue
+                if node.is_leaf:
+                    disk = store.disk_of(node)
+                    if traced:
+                        active.node_visit(span, disk, leaf=True)
+                        active.page_read(span, disk, node.blocks)
+                    disks.charge(disk, node.blocks)
+                    mask = kernels.leaf_window_mask(
+                        node, window.low, window.high
+                    )
+                    entries.extend(
+                        node.entries[index]  # type: ignore[misc]
+                        for index in np.nonzero(mask)[0]
+                    )
+                else:
+                    if traced:
+                        active.node_visit(span, -1, leaf=False)
+                    mask = kernels.child_intersects(
+                        node, window.low, window.high
+                    )
+                    if traced:
+                        flagged.extend(
+                            (child, bool(flag))  # type: ignore[misc]
+                            for child, flag in zip(node.entries, mask)
+                        )
+                    else:
+                        flagged.extend(
+                            (node.entries[index], True)  # type: ignore[misc]
+                            for index in np.nonzero(mask)[0]
+                        )
     if traced:
         active.end_query(span, time_ms=disks.parallel_time_ms)
     return WindowQueryResult(

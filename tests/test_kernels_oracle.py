@@ -1,0 +1,309 @@
+"""Oracle tests: vectorized traversal kernels vs. the scalar path.
+
+The contract of :mod:`repro.index.kernels` is *bit-for-bit* equivalence:
+across seeded dimensions, k values, engines, and execution modes, the
+vectorized and scalar paths must agree exactly on neighbors,
+``SearchStats``, per-disk page counts, and cache stats — no
+float-tolerance waivers on any counter.  These tests pin that contract,
+plus the ``REPRO_SCALAR_KERNELS`` environment fallback and the lazily
+cached per-node arrays surviving tree mutation.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines import RoundRobinDeclusterer
+from repro.index import kernels
+from repro.index.knn import (
+    _CandidateSet,
+    knn_best_first,
+    knn_branch_and_bound,
+    knn_linear_scan,
+    pages_intersecting_radius,
+)
+from repro.index.metrics import LpMetric, WeightedEuclidean
+from repro.index.node import LeafEntry
+from repro.index.rstar import RStarTree
+from repro.index.xtree import XTree
+from repro.parallel.engine import ParallelEngine, SequentialEngine
+from repro.parallel.paged import PagedEngine, PagedStore
+from repro.parallel.store import DeclusteredStore
+from repro.parallel.window import parallel_window_query
+
+DIMENSIONS = (2, 8, 16, 32)
+KS = (1, 10, 20)
+
+_TREES = {}
+_STORES = {}
+
+
+def _tree(dimension, tree_cls):
+    """One tree per (dimension, class), shared across combos (queries
+    never mutate it)."""
+    key = (dimension, tree_cls)
+    if key not in _TREES:
+        rng = np.random.default_rng(17 * dimension)
+        points = rng.random((350, dimension))
+        tree = tree_cls(dimension=dimension)
+        for oid, point in enumerate(points):
+            tree.insert(point, oid)
+        _TREES[key] = (points, tree)
+    return _TREES[key]
+
+
+def _stores(dimension):
+    """One (DeclusteredStore, PagedStore) pair per dimension."""
+    if dimension not in _STORES:
+        rng = np.random.default_rng(29 * dimension)
+        points = rng.random((400, dimension))
+        declusterer = RoundRobinDeclusterer(dimension, 4)
+        _STORES[dimension] = (
+            points,
+            DeclusteredStore(points, declusterer),
+            PagedStore(points, declusterer=declusterer),
+        )
+    return _STORES[dimension]
+
+
+def _assert_same_cache_stats(a, b):
+    assert (a is None) == (b is None)
+    if a is None:
+        return
+    assert a.hits == b.hits
+    assert a.misses == b.misses
+    assert a.evictions == b.evictions
+    assert np.array_equal(a.hits_per_disk, b.hits_per_disk)
+    assert np.array_equal(a.misses_per_disk, b.misses_per_disk)
+
+
+def _assert_same_parallel_result(vectorized, scalar):
+    assert vectorized.neighbors == scalar.neighbors
+    assert np.array_equal(
+        vectorized.pages_per_disk, scalar.pages_per_disk
+    )
+    assert (
+        vectorized.distance_computations == scalar.distance_computations
+    )
+    _assert_same_cache_stats(vectorized.cache_stats, scalar.cache_stats)
+
+
+# ------------------------------------------------------- traversal level
+
+
+@pytest.mark.parametrize(
+    "dimension,k,tree_cls",
+    list(itertools.product(DIMENSIONS, KS, (RStarTree, XTree))),
+)
+def test_knn_traversals_match_scalar_bit_for_bit(dimension, k, tree_cls):
+    points, tree = _tree(dimension, tree_cls)
+    rng = np.random.default_rng(1000 * dimension + k)
+    for query in rng.random((3, dimension)):
+        oracle = [n.oid for n in knn_linear_scan(points, query, k)]
+        for search in (knn_best_first, knn_branch_and_bound):
+            fast, fast_stats = search(tree, query, k, use_kernels=True)
+            slow, slow_stats = search(tree, query, k, use_kernels=False)
+            assert fast == slow
+            assert fast_stats == slow_stats  # every counter, exactly
+            assert [n.oid for n in fast] == oracle
+        radius = fast[-1].distance * 1.25 if fast else 0.5
+        assert pages_intersecting_radius(
+            tree, query, radius, use_kernels=True
+        ) == pages_intersecting_radius(
+            tree, query, radius, use_kernels=False
+        )
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+def test_custom_metrics_match_scalar(dimension):
+    _, tree = _tree(dimension, RStarTree)
+    rng = np.random.default_rng(dimension)
+    metrics = (
+        WeightedEuclidean(rng.random(dimension) + 0.1),
+        LpMetric(1.0),
+        LpMetric(float("inf")),
+    )
+    for metric in metrics:
+        for query in rng.random((2, dimension)):
+            for search in (knn_best_first, knn_branch_and_bound):
+                fast, fast_stats = search(
+                    tree, query, 5, metric=metric, use_kernels=True
+                )
+                slow, slow_stats = search(
+                    tree, query, 5, metric=metric, use_kernels=False
+                )
+                assert fast == slow
+                assert fast_stats == slow_stats
+
+
+def test_minmaxdist_kernel_matches_scalar():
+    _, tree = _tree(16, RStarTree)
+    rng = np.random.default_rng(5)
+    node = tree.root
+    assert not node.is_leaf
+    for query in rng.random((5, 16)):
+        batched = kernels.child_minmaxdists(node, query)
+        for value, child in zip(batched, node.entries):
+            assert float(value) == child.mbr.minmaxdist(query)
+
+
+def test_child_mindists_kernel_matches_scalar():
+    _, tree = _tree(32, XTree)
+    rng = np.random.default_rng(6)
+    node = tree.root
+    assert not node.is_leaf
+    for query in rng.random((5, 32)):
+        batched = kernels.child_mindists(node, query)
+        for value, child in zip(batched, node.entries):
+            assert float(value) == child.mbr.mindist(query)
+
+
+def test_offer_many_matches_sequential_offers():
+    rng = np.random.default_rng(9)
+    for k in (1, 4, 32):
+        for trial in range(20):
+            # Duplicate keys on purpose: ties must resolve identically.
+            keys = rng.integers(0, 10, size=50).astype(float)
+            entries = [
+                LeafEntry(rng.random(3), oid) for oid in range(len(keys))
+            ]
+            bulk = _CandidateSet(k)
+            bulk.offer_many(keys, entries)
+            one_by_one = _CandidateSet(k)
+            for key, entry in zip(keys, entries):
+                one_by_one.offer(float(key), entry.oid, entry.point)
+            assert bulk.neighbors() == one_by_one.neighbors()
+            assert bulk.bound == one_by_one.bound
+
+
+def test_kernel_cache_survives_tree_mutation():
+    rng = np.random.default_rng(13)
+    dimension = 6
+    points = rng.random((600, dimension))
+    tree = RStarTree(dimension=dimension)
+    for oid, point in enumerate(points[:400]):
+        tree.insert(point, oid)
+    query = rng.random(dimension)
+    knn_best_first(tree, query, 5, use_kernels=True)  # populate caches
+    for oid, point in enumerate(points[400:], start=400):
+        tree.insert(point, oid)  # splits/extends must invalidate
+    for oid in range(0, 120, 11):
+        tree.delete(points[oid], oid)  # condensation too
+    removed = set(range(0, 120, 11))
+    alive = [oid for oid in range(len(points)) if oid not in removed]
+    for query in rng.random((5, dimension)):
+        fast, fast_stats = knn_best_first(tree, query, 8, use_kernels=True)
+        slow, slow_stats = knn_best_first(tree, query, 8, use_kernels=False)
+        assert fast == slow
+        assert fast_stats == slow_stats
+        oracle = knn_linear_scan(
+            points[alive], query, 8, oids=alive
+        )
+        assert [n.oid for n in fast] == [n.oid for n in oracle]
+
+
+# --------------------------------------------------------- engine level
+
+
+@pytest.mark.parametrize(
+    "dimension,k,mode",
+    list(
+        itertools.product(
+            DIMENSIONS, KS, ("coordinated", "independent")
+        )
+    ),
+)
+def test_parallel_engine_matches_scalar(dimension, k, mode):
+    points, store, _ = _stores(dimension)
+    rng = np.random.default_rng(77 * dimension + k)
+    for cache in (None, 64):
+        fast_engine = ParallelEngine(store, cache=cache, use_kernels=True)
+        slow_engine = ParallelEngine(store, cache=cache, use_kernels=False)
+        for query in rng.random((2, dimension)):
+            fast = fast_engine.query(query, k, mode=mode)
+            slow = slow_engine.query(query, k, mode=mode)
+            _assert_same_parallel_result(fast, slow)
+            oracle = knn_linear_scan(points, query, k)
+            assert [n.oid for n in fast.neighbors] == [
+                n.oid for n in oracle
+            ]
+
+
+@pytest.mark.parametrize(
+    "dimension,k", list(itertools.product(DIMENSIONS, KS))
+)
+def test_paged_and_sequential_engines_match_scalar(dimension, k):
+    points, _, paged_store = _stores(dimension)
+    rng = np.random.default_rng(88 * dimension + k)
+    for cache in (None, 64):
+        fast_paged = PagedEngine(
+            paged_store, cache=cache, use_kernels=True
+        )
+        slow_paged = PagedEngine(
+            paged_store, cache=cache, use_kernels=False
+        )
+        fast_seq = SequentialEngine(
+            points, cache=cache, use_kernels=True
+        )
+        slow_seq = SequentialEngine(
+            points, cache=cache, use_kernels=False
+        )
+        for query in rng.random((2, dimension)):
+            _assert_same_parallel_result(
+                fast_paged.query(query, k), slow_paged.query(query, k)
+            )
+            fast = fast_seq.query(query, k)
+            slow = slow_seq.query(query, k)
+            assert fast.neighbors == slow.neighbors
+            assert fast.stats == slow.stats
+            assert fast.pages == slow.pages
+            _assert_same_cache_stats(fast.cache_stats, slow.cache_stats)
+
+
+@pytest.mark.parametrize("dimension", DIMENSIONS)
+def test_window_query_matches_scalar(dimension):
+    _, _, paged_store = _stores(dimension)
+    rng = np.random.default_rng(dimension)
+    for center in rng.random((4, dimension)):
+        low = np.maximum(center - 0.3, 0.0)
+        high = np.minimum(center + 0.3, 1.0)
+        fast = parallel_window_query(
+            paged_store, low, high, use_kernels=True
+        )
+        slow = parallel_window_query(
+            paged_store, low, high, use_kernels=False
+        )
+        assert [e.oid for e in fast.entries] == [
+            e.oid for e in slow.entries
+        ]
+        assert np.array_equal(fast.pages_per_disk, slow.pages_per_disk)
+
+
+# ------------------------------------------------------ env-var fallback
+
+
+def test_scalar_env_selects_fallback(monkeypatch):
+    monkeypatch.delenv(kernels.SCALAR_ENV, raising=False)
+    assert kernels.kernels_enabled() is True
+    monkeypatch.setenv(kernels.SCALAR_ENV, "0")
+    assert kernels.kernels_enabled() is True
+    monkeypatch.setenv(kernels.SCALAR_ENV, "1")
+    assert kernels.kernels_enabled() is False
+    # An explicit engine/function flag always wins over the environment.
+    assert kernels.kernels_enabled(True) is True
+    monkeypatch.delenv(kernels.SCALAR_ENV)
+    assert kernels.kernels_enabled(False) is False
+
+
+def test_env_fallback_runs_scalar_path_with_same_answers(monkeypatch):
+    points, tree = _tree(8, XTree)
+    rng = np.random.default_rng(21)
+    query = rng.random(8)
+    reference, reference_stats = knn_best_first(
+        tree, query, 10, use_kernels=True
+    )
+    monkeypatch.setenv(kernels.SCALAR_ENV, "1")
+    fallback, fallback_stats = knn_best_first(tree, query, 10)
+    assert fallback == reference
+    assert fallback_stats == reference_stats
