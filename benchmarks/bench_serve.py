@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: latency percentiles vs offered load (PR 6).
+
+Sweeps the batching :class:`~repro.serve.service.QueryService` over a
+grid of Poisson offered loads for several declustering schemes under
+the simulator service-time model, and records p50/p95/p99 latency,
+throughput, and mean batch size as a ``repro.result_table/v1`` table —
+the root-level ``BENCH_serve.json``.
+
+The sweep is fully seeded, so the table is a pure function of the
+workload constants below: the same code produces the same JSON, and any
+drift in the latency columns is a real behavior change in the engines,
+the scheduler, or the cost model.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py  # full run
+
+``--smoke`` (the CI ``serve`` job) uses a small store and short traces
+and writes ``benchmarks/results/serve_smoke.json``; the full run writes
+``BENCH_serve.json`` at the repo root (both validate against
+``scripts/check_result_tables.py``).  A sanity gate fails the run if
+latency percentiles are not monotone (p50 <= p95 <= p99) or if higher
+offered load yields a smaller mean batch under the fifo policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.obs import table_to_json
+from repro.serve import (
+    LoadPoint,
+    WorkloadSpec,
+    points_to_table,
+    sweep,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One seeded sweep configuration."""
+
+    mode: str
+    spec: WorkloadSpec
+    schemes: Tuple[str, ...]
+    offered_qps: Tuple[float, ...]
+    policies: Tuple[str, ...]
+    requests: int
+    trace_seed: int = 1
+
+
+SMOKE = BenchConfig(
+    mode="smoke",
+    spec=WorkloadSpec(n=1024, d=2, k=10, num_disks=4, seed=42),
+    schemes=("col", "fx"),
+    offered_qps=(50.0, 200.0),
+    policies=("fifo",),
+    requests=24,
+)
+FULL = BenchConfig(
+    mode="full",
+    spec=WorkloadSpec(n=8192, d=2, k=10, num_disks=4, seed=42),
+    schemes=("col", "fx", "hil"),
+    offered_qps=(25.0, 50.0, 100.0, 200.0, 400.0),
+    policies=("fifo", "max-batch"),
+    requests=96,
+)
+
+
+def run_sweep(config: BenchConfig) -> List[LoadPoint]:
+    """All (policy x scheme x offered load) cells of the grid."""
+    points: List[LoadPoint] = []
+    for policy in config.policies:
+        points.extend(
+            sweep(
+                config.spec,
+                config.schemes,
+                config.offered_qps,
+                policy=policy,
+                requests=config.requests,
+                trace_seed=config.trace_seed,
+            )
+        )
+    return points
+
+
+def sanity_failures(points: Sequence[LoadPoint]) -> List[str]:
+    """Structural checks on the sweep (not perf floors): percentile
+    ordering and fifo batch growth under load."""
+    failures: List[str] = []
+    for point in points:
+        if not point.p50_ms <= point.p95_ms <= point.p99_ms:
+            failures.append(
+                f"{point.scheme}@{point.offered_qps}qps "
+                f"({point.policy}): percentiles not monotone "
+                f"({point.p50_ms}, {point.p95_ms}, {point.p99_ms})"
+            )
+        if point.completed <= 0:
+            failures.append(
+                f"{point.scheme}@{point.offered_qps}qps "
+                f"({point.policy}): no completed requests"
+            )
+    for scheme in {point.scheme for point in points}:
+        fifo = sorted(
+            (
+                point for point in points
+                if point.scheme == scheme and point.policy == "fifo"
+            ),
+            key=lambda point: point.offered_qps,
+        )
+        if fifo and fifo[-1].mean_batch_size < fifo[0].mean_batch_size:
+            failures.append(
+                f"{scheme}: fifo mean batch size shrank as offered "
+                f"load grew ({fifo[0].mean_batch_size} -> "
+                f"{fifo[-1].mean_batch_size})"
+            )
+    return failures
+
+
+def run(config: BenchConfig, out: pathlib.Path) -> int:
+    """Execute the sweep and write the table; 0 on success."""
+    points = run_sweep(config)
+    spec = config.spec
+    table = points_to_table(
+        points,
+        title=(
+            "Serve latency vs offered load "
+            f"({config.mode}: n={spec.n}, d={spec.d}, k={spec.k}, "
+            f"disks={spec.num_disks}, {config.requests} Poisson "
+            "arrivals/cell)"
+        ),
+    )
+    table.add_note(
+        "latency = admission to batch completion under the "
+        "busiest-disk service-time model; same seeded query stream in "
+        "every cell."
+    )
+    table.add_note(
+        f"store seed={spec.seed}, trace seed={config.trace_seed}, "
+        f"policies={'/'.join(config.policies)} "
+        "(max-batch: size 8, deadline 4 ms)."
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = "serve_smoke" if config.mode == "smoke" else "serve"
+    (RESULTS_DIR / f"{name}.txt").write_text(table.to_text() + "\n")
+    rendered = table_to_json(table) + "\n"
+    (RESULTS_DIR / f"{name}.json").write_text(rendered)
+    out.write_text(rendered)
+    print(table.to_text())
+    print(f"result table written to {out}")
+    failures = sanity_failures(points)
+    for failure in failures:
+        print(f"SERVE BENCH FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fixed workload (the CI serve job)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="result-table file (default: BENCH_serve.json at the repo "
+             "root for full runs, benchmarks/results/serve_smoke.json "
+             "for --smoke)",
+    )
+    options = parser.parse_args(argv)
+    config = SMOKE if options.smoke else FULL
+    out = options.out
+    if out is None:
+        out = (
+            RESULTS_DIR / "serve_smoke.json" if options.smoke
+            else REPO_ROOT / "BENCH_serve.json"
+        )
+    return run(config, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

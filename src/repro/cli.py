@@ -301,6 +301,127 @@ def _cmd_schemes(_: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_spec_and_policy(args: argparse.Namespace):
+    """Build the (WorkloadSpec, SchedulerPolicy) pair the serve/loadgen
+    subcommands share."""
+    from repro.serve import WorkloadSpec, make_scheduler
+
+    spec = WorkloadSpec(
+        n=args.n, d=args.d, k=args.k, num_disks=args.disks,
+        scheme=args.scheme, engine=args.engine,
+        cache_pages=args.cache_pages, seed=args.seed,
+    )
+    if args.policy == "max-batch":
+        policy = make_scheduler(
+            "max-batch", batch_size=args.batch_size,
+            deadline_ms=args.deadline_ms,
+        )
+    else:
+        policy = make_scheduler(args.policy)
+    return spec, policy
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        RecordingTracer,
+        events_to_jsonl,
+    )
+    from repro.serve import (
+        QueryService,
+        build_engine,
+        poisson_trace,
+        run_closed_loop,
+        uniform_trace,
+    )
+
+    try:
+        spec, policy = _serve_spec_and_policy(args)
+        tracer = (
+            RecordingTracer(metrics=MetricsRegistry())
+            if args.trace_out else None
+        )
+        engine = build_engine(spec, tracer=tracer)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service = QueryService(engine, policy, tracer=tracer)
+    if args.arrivals == "closed":
+        report = run_closed_loop(
+            service, spec, num_clients=args.clients,
+            requests_per_client=max(1, args.requests // args.clients),
+            think_ms=args.think_ms, seed=args.trace_seed,
+        )
+    else:
+        make_trace = (
+            poisson_trace if args.arrivals == "poisson" else uniform_trace
+        )
+        trace = make_trace(
+            spec, args.requests, args.rate_qps, args.trace_seed
+        )
+        report = service.run_trace(trace)
+    print(
+        f"{len(report.outcomes)} requests in {report.num_batches} "
+        f"batches ({report.policy}, mean size "
+        f"{report.mean_batch_size:.2f})"
+    )
+    print(
+        f"latency ms: p50 {report.p50_latency_ms:.2f}  "
+        f"p95 {report.p95_latency_ms:.2f}  "
+        f"p99 {report.p99_latency_ms:.2f}  "
+        f"mean {report.mean_latency_ms:.2f}"
+    )
+    print(
+        f"throughput {report.throughput_qps:.1f} q/s, busiest disk "
+        f"{report.max_pages} pages, total {report.total_pages} pages"
+    )
+    if report.cache_stats is not None:
+        print(
+            f"cache: {report.cache_stats.hits} hits, "
+            f"{report.cache_stats.misses} misses"
+        )
+    if args.trace_out and tracer is not None:
+        path = pathlib.Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(events_to_jsonl(tracer.events) + "\n")
+        print(
+            f"{len(tracer.events)} trace events written to "
+            f"{args.trace_out}"
+        )
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.obs import table_to_json
+    from repro.serve import points_to_table, sweep
+
+    try:
+        spec, policy = _serve_spec_and_policy(args)
+        schemes = [s for s in args.schemes.split(",") if s]
+        rates = [float(r) for r in args.rates.split(",") if r]
+        if not schemes or not rates:
+            raise ValueError("--schemes and --rates must be non-empty")
+        points = sweep(
+            spec, schemes, rates, policy=policy,
+            requests=args.requests, trace_seed=args.trace_seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    table = points_to_table(points)
+    table.add_note(
+        f"engine={spec.engine} n={spec.n} d={spec.d} k={spec.k} "
+        f"disks={spec.num_disks} cache_pages={spec.cache_pages} "
+        f"policy={policy.name} seed={spec.seed} "
+        f"trace_seed={args.trace_seed}"
+    )
+    if args.format == "json":
+        _write_or_print(table_to_json(table), args.out, "result table")
+    else:
+        _write_or_print(table.to_text(), args.out, "result table")
+    return 0
+
+
 def _nonnegative_int(value: str) -> int:
     parsed = int(value)
     if parsed < 0:
@@ -381,6 +502,83 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--out", default=None,
                        help="file to write to (default: stdout)")
 
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheme", default="col",
+                       help="declustering scheme or alias (default col)")
+        p.add_argument("--d", type=int, default=2,
+                       help="data dimensionality (default 2)")
+        p.add_argument("--disks", type=int, default=4,
+                       help="number of disks (default 4)")
+        p.add_argument("--n", type=int, default=2048,
+                       help="points in the store (default 2048)")
+        p.add_argument("--k", type=int, default=10,
+                       help="neighbors per query (default 10)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="store seed (default 0)")
+        p.add_argument("--trace-seed", type=int, default=1,
+                       dest="trace_seed",
+                       help="arrival-trace seed (default 1)")
+        p.add_argument("--engine", choices=("paged", "item"),
+                       default="paged",
+                       help="engine family (default paged)")
+        p.add_argument("--cache-pages", type=_nonnegative_int,
+                       default=None, dest="cache_pages",
+                       help="attach an LRU buffer pool of this many "
+                       "pages (default: no cache)")
+        p.add_argument("--policy", default="max-batch",
+                       help="scheduler policy (default max-batch; see "
+                       "repro.serve.scheduler.SCHEDULERS)")
+        p.add_argument("--batch-size", type=int, default=8,
+                       dest="batch_size",
+                       help="max-batch flush size (default 8)")
+        p.add_argument("--deadline-ms", type=float, default=4.0,
+                       dest="deadline_ms",
+                       help="max-batch flush deadline in ms (default 4)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a seeded arrival trace through the batching "
+        "QueryService and report latency percentiles",
+    )
+    add_workload_args(serve)
+    serve.add_argument("--requests", type=int, default=64,
+                       help="requests in the trace (default 64)")
+    serve.add_argument("--rate-qps", type=float, default=200.0,
+                       dest="rate_qps",
+                       help="offered load in queries/s (default 200)")
+    serve.add_argument("--arrivals",
+                       choices=("poisson", "uniform", "closed"),
+                       default="poisson",
+                       help="arrival model (default poisson)")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client population (default 8)")
+    serve.add_argument("--think-ms", type=float, default=0.0,
+                       dest="think_ms",
+                       help="closed-loop mean think time (default 0)")
+    serve.add_argument("--trace-out", default=None, dest="trace_out",
+                       help="write the JSONL event stream (serve_* plus "
+                       "engine spans) to this file")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="sweep offered load across declustering schemes and emit "
+        "a p50/p95/p99 latency table",
+    )
+    add_workload_args(loadgen)
+    loadgen.add_argument("--schemes", default="col,fx",
+                         help="comma-separated schemes to sweep "
+                         "(default col,fx)")
+    loadgen.add_argument("--rates", default="50,100,200,400",
+                         help="comma-separated offered loads in "
+                         "queries/s (default 50,100,200,400)")
+    loadgen.add_argument("--requests", type=int, default=64,
+                         help="requests per sweep cell (default 64)")
+    loadgen.add_argument("--format", choices=("table", "json"),
+                         default="table",
+                         help="output format (default table)")
+    loadgen.add_argument("--out", default=None,
+                         help="file to write to (default: stdout)")
+
     sub.add_parser("info", help="show library facts (staircase, capacities)")
 
     sub.add_parser(
@@ -417,6 +615,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "info":
         return _cmd_info(args)
     if args.command == "schemes":

@@ -493,7 +493,7 @@ class NoMissingPublicDocstring(Rule):
                "packages (advisory; error in repro.lint/repro.sanitize)")
     severity = "warn"
     default_scope = ("repro.parallel", "repro.obs", "repro.lint",
-                     "repro.sanitize")
+                     "repro.sanitize", "repro.serve")
 
     def _undocumented(
         self, body: Sequence[ast.stmt], owner: str

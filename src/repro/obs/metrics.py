@@ -136,6 +136,34 @@ METRIC_CATALOGUE: Tuple[MetricSpec, ...] = (
         "Per-disk busy fraction of the run, one sample per disk per run.",
     ),
     MetricSpec(
+        "serve_requests_total", "counter", "requests",
+        "repro.serve.service",
+        "Requests admitted and executed by the serving front door.",
+    ),
+    MetricSpec(
+        "serve_batches_total", "counter", "batches", "repro.serve.service",
+        "Batches flushed by the admission scheduler.",
+    ),
+    MetricSpec(
+        "serve_batch_size", "histogram", "requests/batch",
+        "repro.serve.service",
+        "Requests coalesced per flushed batch.",
+    ),
+    MetricSpec(
+        "serve_queue_wait_ms", "histogram", "ms", "repro.serve.service",
+        "Per-request queueing delay: admission to batch flush.",
+    ),
+    MetricSpec(
+        "serve_latency_ms", "histogram", "ms", "repro.serve.service",
+        "Per-request end-to-end latency: admission to batch completion "
+        "under the busiest-disk service-time model.",
+    ),
+    MetricSpec(
+        "serve_batch_service_ms", "histogram", "ms", "repro.serve.service",
+        "Simulated service time per batch (busiest disk's page total x "
+        "page service time).",
+    ),
+    MetricSpec(
         "cache_hit_ratio", "derived", "fraction", "repro.obs.export",
         "cache_hits_total / (cache_hits_total + cache_misses_total); "
         "computed at export time, never stored.",

@@ -67,6 +67,9 @@ EVENT_KINDS = (
     "query_end",
     "query_arrival",
     "query_completion",
+    "serve_enqueue",
+    "serve_flush",
+    "serve_complete",
 )
 
 _CORE_FIELDS = ("seq", "t_ms", "kind", "query", "disk", "pages")

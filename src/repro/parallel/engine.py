@@ -303,7 +303,10 @@ class ParallelEngine:
         hit the pages earlier ones pulled in.  Per-query results are
         identical to issuing :meth:`query` calls one by one.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        queries = np.asarray(queries, dtype=float)
+        if queries.size == 0:
+            return BatchQueryResult([], self.store.num_disks)
+        queries = np.atleast_2d(queries)
         return BatchQueryResult(
             [self.query(query, k, mode) for query in queries],
             self.store.num_disks,
@@ -604,7 +607,10 @@ class SequentialEngine:
         float64 conversion, a pool that stays warm across the batch, and
         per-query results identical to individual :meth:`query` calls.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        queries = np.asarray(queries, dtype=float)
+        if queries.size == 0:
+            return BatchQueryResult([], 1)
+        queries = np.atleast_2d(queries)
         return BatchQueryResult(
             [self.query(query, k) for query in queries], 1
         )

@@ -232,7 +232,10 @@ class PagedEngine:
         (in input order) and exposes the batch-level ``max_pages`` /
         ``total_pages`` / merged ``cache_stats``.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        queries = np.asarray(queries, dtype=float)
+        if queries.size == 0:
+            return BatchQueryResult([], self.store.num_disks)
+        queries = np.atleast_2d(queries)
         return BatchQueryResult(
             [self.query(query, k) for query in queries],
             self.store.num_disks,

@@ -1,0 +1,69 @@
+"""Serving layer: batch-scheduling front door over the query engines.
+
+``repro.serve`` turns the single-query engines into a multi-client
+service (the ROADMAP's inter-query parallelism direction):
+
+* :mod:`repro.serve.scheduler` — batching policies (``fifo``,
+  ``max-batch``) and their registry.
+* :mod:`repro.serve.service` — :class:`QueryService`, the asyncio front
+  door plus the deterministic virtual-time planner used by the oracle
+  tests and the load generator.
+* :mod:`repro.serve.loadgen` — open- (Poisson/uniform) and closed-loop
+  arrival models, latency-vs-offered-load sweeps, result tables.
+
+See ``docs/serving.md`` for the architecture tour.
+"""
+
+from repro.serve.loadgen import (
+    ClosedLoopSource,
+    LoadPoint,
+    WorkloadSpec,
+    build_engine,
+    points_to_table,
+    poisson_trace,
+    run_closed_loop,
+    sweep,
+    uniform_trace,
+)
+from repro.serve.scheduler import (
+    SCHEDULERS,
+    FifoPolicy,
+    MaxBatchPolicy,
+    SchedulerPolicy,
+    available_policies,
+    make_scheduler,
+)
+from repro.serve.service import (
+    ArrivalSource,
+    BatchOutcome,
+    ListSource,
+    QueryRequest,
+    QueryService,
+    RequestOutcome,
+    ServeReport,
+)
+
+__all__ = [
+    "SchedulerPolicy",
+    "FifoPolicy",
+    "MaxBatchPolicy",
+    "SCHEDULERS",
+    "available_policies",
+    "make_scheduler",
+    "QueryRequest",
+    "RequestOutcome",
+    "BatchOutcome",
+    "ServeReport",
+    "ArrivalSource",
+    "ListSource",
+    "QueryService",
+    "WorkloadSpec",
+    "build_engine",
+    "poisson_trace",
+    "uniform_trace",
+    "ClosedLoopSource",
+    "run_closed_loop",
+    "LoadPoint",
+    "sweep",
+    "points_to_table",
+]

@@ -1,0 +1,154 @@
+"""Admission scheduling: coalesce in-flight queries into kernel batches.
+
+The serving layer (:mod:`repro.serve.service`) sits between many
+concurrent clients and one executor running
+:meth:`~repro.parallel.engine.ParallelEngine.query_batch`.  A
+*scheduler policy* decides when the pending queue is flushed into a
+batch; the policy is pure configuration — the same object drives both
+the deterministic virtual-time planner (:meth:`QueryService.run_trace
+<repro.serve.service.QueryService.run_trace>`) and the real asyncio
+front door, so a policy tested against the oracle suite behaves
+identically when served live.
+
+Two policies ship today, registered in :data:`SCHEDULERS` so later
+ones (priority tiers, per-tenant fairness, SLO-aware deadlines) slot
+in without touching the service:
+
+``fifo``
+    Flush as soon as the executor is free: every request that arrived
+    while the previous batch was executing joins the next batch
+    (opportunistic batching, zero added latency at low load).
+``max-batch``
+    Flush when ``batch_size`` requests are pending **or** the oldest
+    pending request has waited ``deadline_ms`` — the classic
+    size-or-deadline coalescing rule that trades a bounded queueing
+    delay for bigger, more cache-friendly batches.
+
+Scheduling never reorders requests: batches are formed from the
+pending queue in arrival order, so a fixed arrival trace produces
+bit-for-bit the results of a direct ``query_batch`` run (the
+determinism contract the oracle suite enforces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+__all__ = [
+    "SchedulerPolicy",
+    "FifoPolicy",
+    "MaxBatchPolicy",
+    "SCHEDULERS",
+    "available_policies",
+    "make_scheduler",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Base scheduling policy: when does the pending queue flush?
+
+    ``max_batch`` is the flush-on-size trigger (``None`` = unbounded:
+    size never forces a flush, and a batch takes everything pending);
+    ``deadline_ms`` bounds how long the oldest pending request may wait
+    before the batch flushes regardless of size.  The executor being
+    busy always delays a flush — and every request arriving before the
+    actual flush instant joins the batch (in arrival order).
+    """
+
+    name: str = "policy"
+    max_batch: Optional[int] = None
+    deadline_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1 or None, got {self.max_batch}"
+            )
+        if self.deadline_ms < 0:
+            raise ValueError(
+                f"deadline_ms must be >= 0, got {self.deadline_ms}"
+            )
+
+    def flush_deadline(self, first_arrival_ms: float) -> float:
+        """Latest instant a batch headed by this arrival may flush."""
+        return first_arrival_ms + self.deadline_ms
+
+    def size_triggered(self, pending: int) -> bool:
+        """True when ``pending`` requests force an immediate flush."""
+        return self.max_batch is not None and pending >= self.max_batch
+
+    def take(self, pending: int) -> int:
+        """How many of ``pending`` requests the next batch takes."""
+        if self.max_batch is None:
+            return pending
+        return min(self.max_batch, pending)
+
+
+def FifoPolicy() -> SchedulerPolicy:
+    """Flush whenever the executor is free; batch = everything pending.
+
+    The zero-configuration policy: at low load every query runs alone
+    (no added latency), under load the queue drains in arrival-order
+    batches sized by however much arrived during the previous batch.
+    """
+    return SchedulerPolicy(name="fifo", max_batch=None, deadline_ms=0.0)
+
+
+def MaxBatchPolicy(
+    batch_size: int = 8, deadline_ms: float = 4.0
+) -> SchedulerPolicy:
+    """Flush on ``batch_size`` pending requests or ``deadline_ms`` wait.
+
+    Bigger batches amortize buffer-pool warmth across concurrent
+    queries; the deadline bounds the queueing delay a lone request can
+    suffer waiting for company.
+    """
+    return SchedulerPolicy(
+        name="max-batch", max_batch=batch_size, deadline_ms=deadline_ms
+    )
+
+
+#: Policy name -> factory.  Later policies register here; the CLI and
+#: load generator construct policies exclusively through this table.
+SCHEDULERS: Dict[str, Callable[..., SchedulerPolicy]] = {
+    "fifo": FifoPolicy,
+    "max-batch": MaxBatchPolicy,
+}
+
+
+def available_policies() -> Tuple[str, ...]:
+    """Registered scheduler policy names, in registry order."""
+    return tuple(SCHEDULERS)
+
+
+def make_scheduler(
+    policy: Union[str, SchedulerPolicy], **kwargs: object
+) -> SchedulerPolicy:
+    """Construct the policy registered under ``policy``.
+
+    A prebuilt :class:`SchedulerPolicy` passes through unchanged
+    (keyword arguments are then rejected); a name is looked up in
+    :data:`SCHEDULERS` and the factory receives ``kwargs``.
+
+    >>> make_scheduler("fifo").name
+    'fifo'
+    >>> make_scheduler("max-batch", batch_size=4).max_batch
+    4
+    """
+    if isinstance(policy, SchedulerPolicy):
+        if kwargs:
+            raise ValueError(
+                "keyword arguments are only valid with a policy name, "
+                f"got a prebuilt {policy.name!r} policy and {kwargs!r}"
+            )
+        return policy
+    try:
+        factory = SCHEDULERS[policy]
+    except KeyError:
+        known = ", ".join(SCHEDULERS)
+        raise ValueError(
+            f"unknown scheduler policy {policy!r}; registered: {known}"
+        ) from None
+    return factory(**kwargs)

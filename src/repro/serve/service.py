@@ -1,0 +1,740 @@
+"""``QueryService``: an asyncio front door over the batch query kernels.
+
+The paper's engines answer one query fast; this module serves *many
+concurrent clients* — the ROADMAP's inter-query parallelism direction.
+Requests (kNN or window) are admitted into a pending queue, a
+:class:`~repro.serve.scheduler.SchedulerPolicy` coalesces them into
+kernel-friendly batches, and each batch executes through the engine's
+``query_batch`` API sharing one buffer pool, so concurrent queries warm
+pages for each other.
+
+Two execution surfaces share one batch executor:
+
+* :meth:`QueryService.run_trace` / :meth:`QueryService.run_stream` —
+  deterministic **virtual-time** execution of an arrival trace under
+  the simulator service-time model (a batch takes its busiest disk's
+  pages times the page service time; the single executor models the
+  coordinating workstation).  This is what the load generator and the
+  oracle tests drive.
+* :meth:`QueryService.submit` — the real **asyncio** path: concurrent
+  clients ``await`` their result while a background scheduler task
+  batches admissions with wall-clock deadlines.  The policy logic is
+  the same object, and batches never reorder admissions.
+
+**Determinism contract** (oracle-enforced): scheduling only *groups*
+requests — it never reorders them — so a fixed arrival trace yields
+neighbors, ``pages_per_disk``, and ``cache_stats`` bit-for-bit
+identical to issuing the same queries directly through ``query_batch``
+in arrival order on an identically configured engine.
+
+Under an enabled tracer (explicit or ambient
+:func:`repro.obs.observe`), the service emits ``serve_enqueue`` /
+``serve_flush`` / ``serve_complete`` events stamped with the stream
+clock, bracketing the per-query spans of the inner engine, and
+publishes the ``serve_*`` catalogued metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.obs.context import current_metrics, current_tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.parallel.cache import CacheStats
+from repro.parallel.paged import PagedStore
+from repro.parallel.window import parallel_window_query
+from repro.serve.scheduler import SchedulerPolicy, make_scheduler
+
+__all__ = [
+    "QueryRequest",
+    "RequestOutcome",
+    "BatchOutcome",
+    "ServeReport",
+    "ArrivalSource",
+    "ListSource",
+    "QueryService",
+]
+
+#: Request kinds the front door accepts.
+REQUEST_KINDS = ("knn", "window")
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One client request entering the service.
+
+    ``query`` is the kNN query point, or the window's lower corner when
+    ``kind == "window"`` (``high`` then carries the upper corner).
+    ``arrival_ms`` is the stream-clock arrival used by the virtual-time
+    planner; the asyncio path stamps it at admission.  ``tenant`` is a
+    free-form client label carried through traces and reports so load
+    mixes can be attributed.
+    """
+
+    query: np.ndarray
+    k: int = 10
+    kind: str = "knn"
+    high: Optional[np.ndarray] = None
+    tenant: str = "default"
+    arrival_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"kind must be one of {REQUEST_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "window" and self.high is None:
+            raise ValueError("window requests require the 'high' corner")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.arrival_ms < 0:
+            raise ValueError(
+                f"arrival_ms must be >= 0, got {self.arrival_ms}"
+            )
+
+
+@dataclass
+class RequestOutcome:
+    """One request's result plus its scheduling timeline.
+
+    ``result`` is the engine's own result object
+    (:class:`~repro.parallel.engine.ParallelQueryResult`,
+    :class:`~repro.parallel.engine.SequentialQueryResult`, or
+    :class:`~repro.parallel.window.WindowQueryResult`) — bit-for-bit
+    what a direct engine call would have returned.
+    """
+
+    request: QueryRequest
+    result: Any
+    batch_id: int
+    batch_size: int
+    flush_ms: float
+    completion_ms: float
+
+    @property
+    def wait_ms(self) -> float:
+        """Queueing delay: admission to batch flush."""
+        return self.flush_ms - self.request.arrival_ms
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency: admission to batch completion."""
+        return self.completion_ms - self.request.arrival_ms
+
+
+@dataclass
+class BatchOutcome:
+    """One executed batch: per-request results plus the cost model."""
+
+    batch_id: int
+    results: List[Any]
+    flush_ms: float
+    batch_ms: float
+    pages_per_disk: np.ndarray
+
+    @property
+    def completion_ms(self) -> float:
+        """Stream-clock instant the batch's last page is served."""
+        return self.flush_ms + self.batch_ms
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one virtual-time serve run.
+
+    ``outcomes`` is indexed by the *input order* of the arrival trace
+    (stable under tie-break permutation), so the oracle can compare the
+    run against a direct ``query_batch`` reference position by
+    position.  Exposes ``query_results`` / ``pages_per_disk``, the
+    surface :func:`repro.sanitize.replay.summarize_report` consumes.
+    """
+
+    outcomes: List[RequestOutcome]
+    pages_per_disk: np.ndarray
+    completion_ms: float
+    num_batches: int
+    page_service_time_ms: float
+    policy: str
+    cache_stats: Optional[CacheStats] = None
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def query_results(self) -> List[Any]:
+        """Per-request engine results, in input order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def latencies_ms(self) -> np.ndarray:
+        """Per-request end-to-end latency, in input order."""
+        return np.array(
+            [outcome.latency_ms for outcome in self.outcomes], dtype=float
+        )
+
+    @property
+    def waits_ms(self) -> np.ndarray:
+        """Per-request queueing delay, in input order."""
+        return np.array(
+            [outcome.wait_ms for outcome in self.outcomes], dtype=float
+        )
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank latency quantile in ms (0.0 on an empty run)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.outcomes:
+            return 0.0
+        ordered = np.sort(self.latencies_ms)
+        rank = max(0, int(np.ceil(q * len(ordered))) - 1)
+        return float(ordered[rank])
+
+    @property
+    def p50_latency_ms(self) -> float:
+        """Median end-to-end latency."""
+        return self.latency_quantile(0.5)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        """95th-percentile end-to-end latency."""
+        return self.latency_quantile(0.95)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        """99th-percentile end-to-end latency."""
+        return self.latency_quantile(0.99)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end latency."""
+        values = self.latencies_ms
+        return float(values.mean()) if values.size else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed requests per simulated second."""
+        if self.completion_ms <= 0:
+            return float("inf")
+        return len(self.outcomes) / (self.completion_ms / 1000.0)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per executed batch."""
+        if not self.batch_sizes:
+            return 0.0
+        return float(sum(self.batch_sizes)) / len(self.batch_sizes)
+
+    @property
+    def max_pages(self) -> int:
+        """Busiest disk's page total over the whole run."""
+        return (
+            int(self.pages_per_disk.max()) if self.pages_per_disk.size
+            else 0
+        )
+
+    @property
+    def total_pages(self) -> int:
+        """Pages read across all disks and requests."""
+        return int(self.pages_per_disk.sum())
+
+
+class ArrivalSource(Protocol):
+    """Pull-based arrival stream the virtual-time planner consumes.
+
+    ``peek_ms`` returns the next arrival's stream time without
+    consuming it (``None`` when exhausted *for now* — a closed-loop
+    source replenishes after completions); ``pop`` consumes it,
+    returning a caller-meaningful token (used to order the report) and
+    the request.  Arrival times must be non-decreasing across pops.
+    """
+
+    def peek_ms(self) -> Optional[float]:
+        """Next arrival's stream time, or None when none is ready."""
+        ...
+
+    def pop(self) -> Tuple[int, QueryRequest]:
+        """Consume the next arrival as ``(token, request)``."""
+        ...
+
+
+class ListSource:
+    """A fixed, pre-sorted arrival trace as an :class:`ArrivalSource`."""
+
+    def __init__(self, items: Sequence[Tuple[int, QueryRequest]]):
+        self._items = list(items)
+        self._next = 0
+
+    def peek_ms(self) -> Optional[float]:
+        """Next arrival time, or None once the trace is exhausted."""
+        if self._next >= len(self._items):
+            return None
+        return self._items[self._next][1].arrival_ms
+
+    def pop(self) -> Tuple[int, QueryRequest]:
+        """Consume and return the next ``(token, request)`` pair."""
+        item = self._items[self._next]
+        self._next += 1
+        return item
+
+
+class _Admission:
+    """One asyncio admission: the request plus its completion future."""
+
+    __slots__ = ("request", "future")
+
+    def __init__(
+        self, request: QueryRequest, future: "asyncio.Future[Any]"
+    ):
+        self.request = request
+        self.future = future
+
+
+class QueryService:
+    """Batching front door over any engine exposing ``query_batch``.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.parallel.engine.ParallelEngine`,
+        :class:`~repro.parallel.engine.SequentialEngine`, or
+        :class:`~repro.parallel.paged.PagedEngine`; batches run through
+        its ``query_batch`` and share its buffer pool.  Window requests
+        additionally require the engine's store to be a
+        :class:`~repro.parallel.paged.PagedStore`.
+    policy:
+        A :class:`~repro.serve.scheduler.SchedulerPolicy` or a
+        registered policy name (see
+        :data:`~repro.serve.scheduler.SCHEDULERS`); extra keyword
+        arguments via :func:`~repro.serve.scheduler.make_scheduler`.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` for the ``serve_*``
+        stream events; when omitted the ambient tracer — if any — is
+        used.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        policy: Union[str, SchedulerPolicy] = "fifo",
+        tracer: Optional[Tracer] = None,
+        **policy_kwargs: object,
+    ):
+        self.engine = engine
+        self.policy = make_scheduler(policy, **policy_kwargs)
+        self.tracer = tracer
+        store = getattr(engine, "store", None)
+        self.num_disks = int(getattr(store, "num_disks", 1))
+        self.page_service_time_ms = float(
+            engine.parameters.page_service_time_ms
+        )
+        self._queue: Optional["asyncio.Queue[Optional[_Admission]]"] = None
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._loop_t0 = 0.0
+        self._async_batches = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def _active_tracer(self) -> Tracer:
+        """This service's tracer, else the ambient one, else the null
+        tracer."""
+        return self.tracer if self.tracer is not None else current_tracer()
+
+    def _resolve_metrics(
+        self, metrics: Optional[MetricsRegistry]
+    ) -> Optional[MetricsRegistry]:
+        """Explicit registry, else the ambient one, else the tracer's."""
+        if metrics is not None:
+            return metrics
+        ambient = current_metrics()
+        if ambient is not None:
+            return ambient
+        return getattr(self._active_tracer(), "metrics", None)
+
+    # ------------------------------------------------------- batch executor
+
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        flush_ms: float = 0.0,
+        batch_id: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> BatchOutcome:
+        """Execute one batch in admission order; never reorders.
+
+        Contiguous runs of same-``(kind, k)`` requests go through the
+        engine's ``query_batch`` (one kernel call per run, shared
+        pool); window requests run one
+        :func:`~repro.parallel.window.parallel_window_query` each.  The
+        batch's service time is its busiest disk's page total times the
+        page service time — the paper's cost model lifted from one
+        query to one batch.
+        """
+        tracer = self._active_tracer()
+        traced = tracer.enabled
+        results: List[Any] = []
+        for start, stop in _contiguous_runs(requests):
+            head = requests[start]
+            chunk = requests[start:stop]
+            if head.kind == "knn":
+                batch = self.engine.query_batch(
+                    np.stack([request.query for request in chunk]),
+                    k=head.k,
+                )
+                results.extend(batch.results)
+            else:
+                store = getattr(self.engine, "store", None)
+                if not isinstance(store, PagedStore):
+                    raise ValueError(
+                        "window requests require an engine over a "
+                        "PagedStore (got "
+                        f"{type(self.engine).__name__})"
+                    )
+                for request in chunk:
+                    assert request.high is not None
+                    results.append(
+                        parallel_window_query(
+                            store,
+                            request.query,
+                            request.high,
+                            parameters=self.engine.parameters,
+                            tracer=self.tracer,
+                            use_kernels=getattr(
+                                self.engine, "use_kernels", None
+                            ),
+                        )
+                    )
+        pages = np.zeros(self.num_disks, dtype=np.int64)
+        for result in results:
+            pages += result.pages_per_disk
+        batch_ms = (
+            float(pages.max()) * self.page_service_time_ms
+            if pages.size else 0.0
+        )
+        outcome = BatchOutcome(
+            batch_id=batch_id,
+            results=results,
+            flush_ms=flush_ms,
+            batch_ms=batch_ms,
+            pages_per_disk=pages,
+        )
+        if traced:
+            tracer.record(
+                "serve_flush", t_ms=flush_ms, batch=batch_id,
+                size=len(requests), policy=self.policy.name,
+            )
+            tracer.record(
+                "serve_complete", t_ms=outcome.completion_ms,
+                batch=batch_id, size=len(requests),
+                batch_ms=round(batch_ms, 6),
+            )
+        registry = self._resolve_metrics(metrics)
+        if registry is not None:
+            registry.counter("serve_requests_total").inc(len(requests))
+            registry.counter("serve_batches_total").inc()
+            registry.histogram("serve_batch_size").record(len(requests))
+            registry.histogram("serve_batch_service_ms").record(batch_ms)
+            for request in requests:
+                registry.histogram("serve_queue_wait_ms").record(
+                    flush_ms - request.arrival_ms
+                )
+                registry.histogram("serve_latency_ms").record(
+                    outcome.completion_ms - request.arrival_ms
+                )
+        return outcome
+
+    # --------------------------------------------------- virtual-time runs
+
+    def run_stream(
+        self,
+        source: ArrivalSource,
+        metrics: Optional[MetricsRegistry] = None,
+        on_batch: Optional[
+            Callable[[List[QueryRequest], BatchOutcome], None]
+        ] = None,
+    ) -> ServeReport:
+        """Drain an arrival source in virtual time; returns the report.
+
+        The scheduling loop: take the oldest pending request, absorb
+        every arrival due before the policy's flush instant (executor
+        availability always delays a flush), flush at most
+        ``policy.max_batch`` requests — strictly in arrival order —
+        and execute.  ``on_batch`` runs after each batch (the
+        closed-loop generator's completion feedback hook).
+        """
+        tracer = self._active_tracer()
+        traced = tracer.enabled
+        cache = getattr(self.engine, "cache", None)
+        cache_before = cache.stats() if cache is not None else None
+        pending: List[Tuple[int, QueryRequest]] = []
+        outcomes: Dict[int, RequestOutcome] = {}
+        batch_sizes: List[int] = []
+        pages = np.zeros(self.num_disks, dtype=np.int64)
+        executor_free = 0.0
+        completion = 0.0
+        batch_id = 0
+
+        def absorb_one() -> bool:
+            token, request = source.pop()
+            if traced:
+                tracer.record(
+                    "serve_enqueue", query=token,
+                    t_ms=request.arrival_ms, tenant=request.tenant,
+                    request_kind=request.kind, k=request.k,
+                )
+            pending.append((token, request))
+            return True
+
+        while True:
+            if not pending:
+                if source.peek_ms() is None:
+                    break
+                absorb_one()
+            # Decide this batch's flush instant, absorbing every
+            # arrival due before it (or until the batch fills).
+            while True:
+                if self.policy.size_triggered(len(pending)):
+                    cap = self.policy.max_batch
+                    assert cap is not None
+                    flush_ms = max(
+                        pending[cap - 1][1].arrival_ms, executor_free
+                    )
+                    break
+                flush_ms = max(
+                    self.policy.flush_deadline(pending[0][1].arrival_ms),
+                    executor_free,
+                )
+                next_ms = source.peek_ms()
+                if next_ms is not None and next_ms <= flush_ms:
+                    absorb_one()
+                    continue
+                break
+            take = self.policy.take(len(pending))
+            batch, pending = pending[:take], pending[take:]
+            requests = [request for _, request in batch]
+            outcome = self.execute_batch(
+                requests, flush_ms=flush_ms, batch_id=batch_id,
+                metrics=metrics,
+            )
+            for (token, request), result in zip(batch, outcome.results):
+                outcomes[token] = RequestOutcome(
+                    request=request,
+                    result=result,
+                    batch_id=batch_id,
+                    batch_size=len(batch),
+                    flush_ms=flush_ms,
+                    completion_ms=outcome.completion_ms,
+                )
+            pages += outcome.pages_per_disk
+            batch_sizes.append(len(batch))
+            executor_free = outcome.completion_ms
+            completion = max(completion, outcome.completion_ms)
+            batch_id += 1
+            if on_batch is not None:
+                on_batch(requests, outcome)
+        return ServeReport(
+            outcomes=[outcomes[token] for token in sorted(outcomes)],
+            pages_per_disk=pages,
+            completion_ms=completion,
+            num_batches=batch_id,
+            page_service_time_ms=self.page_service_time_ms,
+            policy=self.policy.name,
+            cache_stats=(
+                cache.delta_since(cache_before)
+                if cache is not None else None
+            ),
+            batch_sizes=batch_sizes,
+        )
+
+    def run_trace(
+        self,
+        trace: Sequence[QueryRequest],
+        metrics: Optional[MetricsRegistry] = None,
+        tiebreak_seed: Optional[int] = None,
+    ) -> ServeReport:
+        """Serve a fixed arrival trace deterministically in virtual time.
+
+        Arrivals are processed in ``arrival_ms`` order; ties keep the
+        input order unless ``tiebreak_seed`` (the determinism
+        sanitizer's hook point) permutes them.  The report's outcomes
+        are always restored to input positions, and by the determinism
+        contract results and per-disk page counts must not depend on
+        the seed.
+        """
+        if tiebreak_seed is None:
+            order = sorted(
+                range(len(trace)), key=lambda i: trace[i].arrival_ms
+            )
+        else:
+            perm = np.random.default_rng(tiebreak_seed).permutation(
+                len(trace)
+            )
+            order = sorted(
+                range(len(trace)),
+                key=lambda i: (trace[i].arrival_ms, int(perm[i])),
+            )
+        source = ListSource([(index, trace[index]) for index in order])
+        return self.run_stream(source, metrics=metrics)
+
+    # ------------------------------------------------------- asyncio front
+
+    async def start(self) -> None:
+        """Start the background scheduler task (idempotent guard)."""
+        if self._task is not None:
+            raise RuntimeError("QueryService is already started")
+        self._queue = asyncio.Queue()
+        self._loop_t0 = asyncio.get_running_loop().time()
+        self._async_batches = 0
+        self._task = asyncio.create_task(self._serve_loop())
+
+    async def stop(self) -> None:
+        """Flush remaining admissions and stop the scheduler task."""
+        if self._task is None or self._queue is None:
+            return
+        await self._queue.put(None)
+        await self._task
+        self._task = None
+        self._queue = None
+
+    def _now_ms(self) -> float:
+        """Milliseconds since :meth:`start` on the running loop."""
+        return (asyncio.get_running_loop().time() - self._loop_t0) * 1000.0
+
+    async def submit(self, request: QueryRequest) -> RequestOutcome:
+        """Admit one request; resolves when its batch completes.
+
+        ``request.arrival_ms`` is restamped with the admission wall
+        clock (ms since :meth:`start`); concurrent submitters are
+        batched together by the scheduler task in admission order.
+        """
+        if self._queue is None:
+            raise RuntimeError(
+                "QueryService is not started; use 'await service.start()'"
+            )
+        arrival = self._now_ms()
+        stamped = QueryRequest(
+            query=request.query, k=request.k, kind=request.kind,
+            high=request.high, tenant=request.tenant, arrival_ms=arrival,
+        )
+        tracer = self._active_tracer()
+        if tracer.enabled:
+            tracer.record(
+                "serve_enqueue", t_ms=arrival, tenant=stamped.tenant,
+                request_kind=stamped.kind, k=stamped.k,
+            )
+        future: "asyncio.Future[RequestOutcome]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        await self._queue.put(_Admission(stamped, future))
+        return await future
+
+    async def knn(
+        self, query: np.ndarray, k: int = 10, tenant: str = "default"
+    ) -> RequestOutcome:
+        """Convenience wrapper: submit one kNN request."""
+        return await self.submit(
+            QueryRequest(query=np.asarray(query, dtype=float), k=k,
+                         tenant=tenant)
+        )
+
+    async def _collect_batch(
+        self, queue: "asyncio.Queue[Optional[_Admission]]"
+    ) -> Tuple[List[_Admission], bool]:
+        """Gather one batch per the policy; True means shutdown seen."""
+        first = await queue.get()
+        if first is None:
+            return [], True
+        admissions = [first]
+        closing = False
+        deadline = (
+            asyncio.get_running_loop().time()
+            + self.policy.deadline_ms / 1000.0
+        )
+        while not self.policy.size_triggered(len(admissions)):
+            timeout = deadline - asyncio.get_running_loop().time()
+            if timeout <= 0:
+                try:
+                    item = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            else:
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+            if item is None:
+                closing = True
+                break
+            admissions.append(item)
+        return admissions, closing
+
+    async def _serve_loop(self) -> None:
+        """Scheduler task: batch admissions and resolve their futures."""
+        assert self._queue is not None
+        while True:
+            admissions, closing = await self._collect_batch(self._queue)
+            if admissions:
+                requests = [adm.request for adm in admissions]
+                flush_ms = self._now_ms()
+                batch_id = self._async_batches
+                self._async_batches += 1
+                try:
+                    outcome = self.execute_batch(
+                        requests, flush_ms=flush_ms, batch_id=batch_id
+                    )
+                except (ValueError, TypeError, KeyError, RuntimeError,
+                        OSError) as error:
+                    # Fan the failure out to every caller awaiting this
+                    # batch instead of killing the scheduler task.
+                    for adm in admissions:
+                        if not adm.future.done():
+                            adm.future.set_exception(error)
+                    if closing:
+                        return
+                    continue
+                for adm, result in zip(admissions, outcome.results):
+                    if not adm.future.done():
+                        adm.future.set_result(
+                            RequestOutcome(
+                                request=adm.request,
+                                result=result,
+                                batch_id=batch_id,
+                                batch_size=len(admissions),
+                                flush_ms=flush_ms,
+                                completion_ms=outcome.completion_ms,
+                            )
+                        )
+            if closing:
+                return
+
+
+def _contiguous_runs(
+    requests: Sequence[QueryRequest],
+) -> List[Tuple[int, int]]:
+    """``[start, stop)`` spans of same-``(kind, k)`` request runs.
+
+    Batch execution walks these spans in order, so grouping never
+    reorders requests — the invariant behind the determinism contract.
+    """
+    runs: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(1, len(requests)):
+        previous, current = requests[index - 1], requests[index]
+        if (current.kind, current.k) != (previous.kind, previous.k):
+            runs.append((start, index))
+            start = index
+    if requests:
+        runs.append((start, len(requests)))
+    return runs

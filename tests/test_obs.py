@@ -70,6 +70,9 @@ class TestTraceEvent:
         tracer = scripted_tracer()
         tracer.record("query_arrival", query=0, t_ms=0.0)
         tracer.record("query_completion", query=0, t_ms=1.0)
+        tracer.record("serve_enqueue", query=0, t_ms=0.0, tenant="default")
+        tracer.record("serve_flush", t_ms=0.0, batch=0, size=1)
+        tracer.record("serve_complete", t_ms=1.0, batch=0, size=1)
         emitted = {event.kind for event in tracer.events}
         assert emitted == set(EVENT_KINDS)
 
