@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Fail when the committed lint baseline carries stale fingerprints.
+
+The baseline (``lint-baseline.json``, schema ``repro.lint-baseline/v1``)
+grandfathers pre-existing findings so new rules can land without
+blocking the tree.  That debt must only shrink: once a baselined
+finding is fixed, its fingerprint is no longer emitted by a lint run
+and the entry should be deleted (rerun ``--update-baseline``).  A stale
+entry is worse than clutter — it is a free pass that would silently
+absorb the *next* identical regression at that path.
+
+This script reruns the full linter over the given paths and reports
+every baseline entry whose fingerprint the run no longer produces (with
+multiset semantics: a fingerprint baselined twice but emitted once is
+one stale entry).  Run it from the repo root so the recorded relative
+paths line up::
+
+    PYTHONPATH=src python scripts/check_baseline_fresh.py \
+        lint-baseline.json src tests benchmarks
+
+Used by the CI ``lint`` job; importable for tests::
+
+    from check_baseline_fresh import stale_entries, main
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from repro.lint import run_lint
+
+BASELINE_SCHEMA = "repro.lint-baseline/v1"
+
+
+def stale_entries(
+    baseline_path: pathlib.Path, paths: Sequence[str], jobs: int = 1
+) -> List[Dict[str, Any]]:
+    """Baseline entries whose fingerprints a fresh run never emits.
+
+    Returns the raw baseline entry dicts (path/rule/message included for
+    auditability), one per stale multiset slot, in file order.
+    """
+    payload = json.loads(baseline_path.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{baseline_path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    emitted = Counter(
+        finding.fingerprint() for finding in run_lint(paths, jobs=jobs)
+    )
+    stale: List[Dict[str, Any]] = []
+    for entry in payload.get("findings", []):
+        fingerprint = str(entry["fingerprint"])
+        for _ in range(int(entry.get("count", 1))):
+            if emitted.get(fingerprint, 0) > 0:
+                emitted[fingerprint] -= 1
+            else:
+                stale.append(entry)
+    return stale
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; exit 1 when the baseline has stale entries."""
+    parser = argparse.ArgumentParser(
+        description="fail when lint-baseline.json records fingerprints "
+        "a full lint run no longer emits",
+    )
+    parser.add_argument(
+        "baseline", type=pathlib.Path,
+        help="the committed baseline file to audit",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="files or directories the baseline was recorded against",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="worker threads for the lint run (default: 4)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        stale = stale_entries(args.baseline, args.paths, jobs=args.jobs)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"check_baseline_fresh: {error}", file=sys.stderr)
+        return 2
+    if stale:
+        print(
+            f"{args.baseline}: {len(stale)} stale baseline "
+            f"entr{'y' if len(stale) == 1 else 'ies'} — the findings "
+            "below are no longer emitted; rerun --update-baseline:"
+        )
+        for entry in stale:
+            print(
+                f"  {entry.get('path', '?')}: [{entry.get('rule', '?')}] "
+                f"{entry.get('message', '')} "
+                f"(fingerprint {entry.get('fingerprint', '?')})"
+            )
+        return 1
+    print(f"{args.baseline}: fresh (every recorded fingerprint still emitted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from repro.lint.baseline import (
     subtract_baseline,
     write_baseline,
 )
+from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.engine import ALL_RULES, all_rule_names, run_lint
 from repro.lint.findings import Finding, render_json, render_text
@@ -32,6 +33,7 @@ from repro.lint.sarif import render_sarif
 
 __all__ = [
     "ALL_RULES",
+    "CONCURRENCY_RULES",
     "DEFAULT_CONFIG",
     "Finding",
     "LintConfig",

@@ -155,9 +155,16 @@ class ProjectIndex:
             return []
         module_name = class_qualname.rsplit(".", 2)[0]
         # A nested class keeps its defining module as the resolution
-        # context; walking off the front of the qualname finds it.
+        # context; walking off the front of the qualname finds it.  The
+        # defining module may be absent entirely (linting a subtree
+        # with no package __init__ modules), so stop at the last
+        # segment rather than respinning on it forever.
         while module_name and module_name not in self.modules:
-            module_name = module_name.rsplit(".", 1)[0]
+            head, sep, _ = module_name.rpartition(".")
+            if not sep:
+                module_name = ""
+                break
+            module_name = head
         bases: List[str] = []
         for base in node.bases:
             local = dotted_name(base)
@@ -233,6 +240,14 @@ class CallGraph:
         for call in self._own_calls(info):
             local = dotted_name(call.func)
             if local is None:
+                # Method call on a computed receiver (``make()...x()``,
+                # subscripts, ...): no dotted name, but the graph must
+                # stay over-approximating — name-based fallback.
+                if isinstance(call.func, ast.Attribute):
+                    for candidate in self.index.by_method_name.get(
+                        call.func.attr, ()
+                    ):
+                        yield candidate
                 continue
             if local.startswith("self.") and class_qualname is not None:
                 rest = local[len("self."):]

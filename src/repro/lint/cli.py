@@ -10,21 +10,37 @@ Baselines (``lint-baseline.json``, schema ``repro.lint-baseline/v1``)
 let CI fail only on *new* findings: ``--baseline FILE`` subtracts the
 recorded fingerprints before rendering and exit-status evaluation, and
 ``--update-baseline FILE`` rewrites the file from the current tree.
+
+``--jobs N`` fans the per-file rule passes out over N worker threads
+(cross-module passes stay single-threaded); ``--select`` narrows the
+run to named rules or rule groups (``concurrency``, ``dataflow``);
+``--time-budget SECONDS`` turns the run's wall-clock into a gate —
+the elapsed time is reported on stderr and exceeding the budget fails
+the run even when the tree is clean.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.lint.baseline import (
     load_baseline,
     subtract_baseline,
     write_baseline,
 )
-from repro.lint.engine import ALL_RULES, run_lint, rule_summaries
+from repro.lint.concurrency import CONCURRENCY_RULES
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.dataflow import DATAFLOW_RULES
+from repro.lint.engine import (
+    ALL_RULES,
+    all_rule_names,
+    run_lint,
+    rule_summaries,
+)
 from repro.lint.findings import (
     Finding,
     error_findings,
@@ -33,7 +49,14 @@ from repro.lint.findings import (
 )
 from repro.lint.sarif import render_sarif
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "RULE_GROUPS"]
+
+#: Named rule groups ``--select`` expands (alongside individual rule
+#: names): run just the async-safety layer, or just the dataflow layer.
+RULE_GROUPS = {
+    "concurrency": tuple(rule.name for rule in CONCURRENCY_RULES),
+    "dataflow": tuple(rule.name for rule in DATAFLOW_RULES),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,7 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static checker for this repository's paper-level "
         "invariants (seeded RNG, core-bits usage, buffer-pool charging, "
         "float equality, library prints, scheme registry completeness, "
-        "plus cross-module dataflow rules over the project call graph).",
+        "cross-module dataflow rules over the project call graph, and "
+        "async-safety rules for the serving layer).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -63,10 +87,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite FILE from the current findings and exit 0",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker threads for the per-file rule passes (default: 1; "
+        "cross-module passes always run single-threaded)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule names and/or groups "
+        f"({', '.join(sorted(RULE_GROUPS))}) to run; default: all rules",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="fail the run (exit 1) when linting takes longer than "
+        "SECONDS of wall-clock; elapsed time is reported on stderr",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
     return parser
+
+
+def _selected_config(selection: str) -> Optional[LintConfig]:
+    """A config enabling only the ``--select`` rules; None on bad names."""
+    known = set(all_rule_names())
+    enabled: Set[str] = set()
+    for token in selection.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token in RULE_GROUPS:
+            enabled.update(RULE_GROUPS[token])
+        elif token in known:
+            enabled.add(token)
+        else:
+            return None
+    if not enabled:
+        return None
+    return LintConfig(enabled=frozenset(enabled))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -77,7 +135,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in ALL_RULES:
             print(f"{rule.name:>28}  {rule.summary}")
         return 0
-    findings: List[Finding] = run_lint(args.paths)
+    if args.jobs < 1:
+        print(f"repro.lint: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    config = DEFAULT_CONFIG
+    if args.select is not None:
+        selected = _selected_config(args.select)
+        if selected is None:
+            print(
+                f"repro.lint: --select {args.select!r} names no known "
+                f"rule or group (groups: {', '.join(sorted(RULE_GROUPS))})",
+                file=sys.stderr,
+            )
+            return 2
+        config = selected
+    started = time.monotonic()
+    findings: List[Finding] = run_lint(args.paths, config, jobs=args.jobs)
+    elapsed = time.monotonic() - started
     if args.update_baseline is not None:
         write_baseline(args.update_baseline, findings)
         print(
@@ -100,7 +175,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_text(findings))
     else:
         print("0 findings")
-    return 1 if error_findings(findings) else 0
+    over_budget = False
+    if args.time_budget is not None:
+        over_budget = elapsed > args.time_budget
+        verdict = "OVER BUDGET" if over_budget else "within budget"
+        # stderr so SARIF/JSON documents on stdout stay parseable.
+        print(
+            f"repro.lint: completed in {elapsed:.2f}s "
+            f"(budget {args.time_budget:.2f}s, {verdict}, "
+            f"jobs={args.jobs})",
+            file=sys.stderr,
+        )
+    return 1 if error_findings(findings) or over_budget else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

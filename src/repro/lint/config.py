@@ -69,6 +69,13 @@ class LintConfig:
     docstring_error_scope:
         Module prefixes where ``no-missing-public-docstring`` escalates
         from warn to error (the lint/sanitizer dogfood scope).
+    virtual_time_roots:
+        Function qualnames ``no-wall-clock-in-virtual-time`` treats as
+        virtual-time entry points (simulator ``run`` methods are added
+        automatically by class-name convention).
+    single_writer_attr:
+        Class-attribute name holding the single-writer annotation that
+        sanctions attributes for ``async-atomicity-violation``.
     """
 
     enabled: Optional[FrozenSet[str]] = None
@@ -81,6 +88,13 @@ class LintConfig:
     catalogue_module: str = "repro.obs.metrics"
     entry_point_names: Tuple[str, ...] = ("query", "query_batch", "run")
     docstring_error_scope: Tuple[str, ...] = ("repro.lint", "repro.sanitize")
+    virtual_time_roots: Tuple[str, ...] = (
+        "repro.serve.service.QueryService.run_trace",
+        "repro.serve.service.QueryService.run_stream",
+        "repro.serve.loadgen.run_closed_loop",
+        "repro.serve.loadgen.sweep",
+    )
+    single_writer_attr: str = "_SINGLE_WRITER"
 
     def scope_for(self, rule_name: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
         """The scope prefixes for ``rule_name`` (override or default)."""

@@ -7,9 +7,11 @@ the tree upholds every invariant.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Set, Tuple, Type, Union
 
+from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.dataflow import DATAFLOW_RULES
 from repro.lint.findings import Finding
@@ -28,11 +30,13 @@ __all__ = [
 SYNTAX_ERROR = "syntax-error"
 UNUSED_SUPPRESSION = "unused-suppression"
 
-#: Per-module rules plus the cross-module dataflow layer, in reporting
-#: order.  Aggregated here (not in ``rules``) because the dataflow rules
-#: subclass :class:`~repro.lint.rules.Rule` and importing them back into
-#: ``rules`` would be circular.
-ALL_RULES: Tuple[Type[Rule], ...] = tuple(RULES) + tuple(DATAFLOW_RULES)
+#: Per-module rules plus the cross-module dataflow and async-safety
+#: layers, in reporting order.  Aggregated here (not in ``rules``)
+#: because those rules subclass :class:`~repro.lint.rules.Rule` and
+#: importing them back into ``rules`` would be circular.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    tuple(RULES) + tuple(DATAFLOW_RULES) + tuple(CONCURRENCY_RULES)
+)
 
 
 def all_rule_names() -> Tuple[str, ...]:
@@ -128,9 +132,17 @@ def _apply_suppressions(
     return kept
 
 
+def _module_pass(
+    rule: Rule, module: ModuleInfo, config: LintConfig
+) -> List[Finding]:
+    """One (rule, module) per-file pass, materialized for fan-out."""
+    return list(rule.check_module(module, config))
+
+
 def run_lint(
     paths: Iterable[Union[str, Path]],
     config: LintConfig = DEFAULT_CONFIG,
+    jobs: int = 1,
 ) -> List[Finding]:
     """Lint ``paths`` (files or directories) under ``config``.
 
@@ -138,16 +150,37 @@ def run_lint(
     comments (``# repro-lint: disable=<rule>[,rule...]`` or
     ``disable=all``) silence same-line findings; a suppression that
     silences nothing is itself reported as ``unused-suppression``.
+
+    ``jobs > 1`` fans the per-file ``check_module`` passes out over a
+    thread pool (rules are stateless visitors over already-parsed
+    ASTs, so this is safe); the cross-module ``check_project`` passes
+    always run single-threaded because they share one project index.
+    The final sort makes output order independent of ``jobs``.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     files = discover_files(paths)
     modules, findings = _parse_all(files)
     rules: List[Rule] = [
         rule_class() for rule_class in ALL_RULES
         if config.rule_enabled(rule_class.name)
     ]
+    module_work = [
+        (rule, module)
+        for rule in rules
+        for module in modules
+        if rule.applies_to(module.name, config)
+    ]
+    if jobs > 1 and len(module_work) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            for batch in pool.map(
+                lambda work: _module_pass(work[0], work[1], config),
+                module_work,
+            ):
+                findings.extend(batch)
+    else:
+        for rule, module in module_work:
+            findings.extend(_module_pass(rule, module, config))
     for rule in rules:
-        for module in modules:
-            if rule.applies_to(module.name, config):
-                findings.extend(rule.check_module(module, config))
         findings.extend(rule.check_project(modules, config))
     return sorted(_apply_suppressions(modules, findings))

@@ -6,9 +6,15 @@ layers:
 
 * tie-break permutation replay (:mod:`repro.sanitize.replay`) —
   query results and per-disk counters must be identical under the
-  simulator's native order and two permuted tie-break seeds;
+  simulator's native order and two permuted tie-break seeds; the
+  matrix replays the serving layer's virtual-time planner
+  (:func:`build_serve_replay_case`) alongside the raw simulators;
 * event-stream happens-before checks (:mod:`repro.sanitize.stream`)
   over a traced run, including the trace/report counter oracle;
+* the virtual-clock invariant — after a served run the driving
+  :class:`~repro.serve.clock.VirtualClock` must sit exactly on the
+  report's ``completion_ms`` (``sanitize-virtual-clock``), the
+  runtime half of the static ``no-wall-clock-in-virtual-time`` rule;
 * the global-RNG drift guard (:mod:`repro.sanitize.runtime`) around
   the whole matrix.
 
@@ -49,11 +55,15 @@ from repro.sanitize.replay import ReplayCase, RunSummary, replay_check, \
     summarize_report
 from repro.sanitize.runtime import global_rng_guard
 from repro.sanitize.stream import check_event_stream
+from repro.serve.clock import VirtualClock
+from repro.serve.loadgen import WorkloadSpec, build_engine
+from repro.serve.service import QueryRequest, QueryService
 
 __all__ = [
     "SMOKE_SCHEMES",
     "SMOKE_ENGINES",
     "build_replay_case",
+    "build_serve_replay_case",
     "smoke_matrix",
     "build_parser",
     "main",
@@ -137,6 +147,109 @@ def build_replay_case(
     return ReplayCase(name=f"{scheme}/{engine}", run=run)
 
 
+def _serve_spec(scheme: str, case_kwargs: Dict[str, int]) -> WorkloadSpec:
+    """The cacheless paged-engine workload one serve cell runs."""
+    return WorkloadSpec(
+        n=case_kwargs.get("num_points", 300),
+        d=case_kwargs.get("dimension", 6),
+        k=case_kwargs.get("k", 5),
+        num_disks=case_kwargs.get("num_disks", 8),
+        scheme=scheme,
+        engine="paged",
+        cache_pages=None,
+        seed=case_kwargs.get("data_seed", 7),
+    )
+
+
+def _tied_serve_trace(
+    spec: WorkloadSpec,
+    count: int,
+    group: int = 4,
+    gap_ms: float = 3.0,
+    seed: int = 1,
+) -> List[QueryRequest]:
+    """Seeded serve arrivals with deliberate exact timestamp ties."""
+    rng = np.random.default_rng(seed)
+    queries = rng.random((count, spec.d))
+    return [
+        QueryRequest(
+            query=queries[index],
+            k=spec.k,
+            arrival_ms=float(index // group) * gap_ms,
+        )
+        for index in range(count)
+    ]
+
+
+def build_serve_replay_case(
+    scheme: str,
+    num_points: int = 300,
+    num_queries: int = 24,
+    dimension: int = 6,
+    num_disks: int = 8,
+    k: int = 5,
+    data_seed: int = 7,
+) -> ReplayCase:
+    """The serving layer's virtual-time planner as a :class:`ReplayCase`.
+
+    Each replay builds a fresh cacheless paged engine from the seeded
+    spec and serves one tied arrival trace through
+    :meth:`~repro.serve.service.QueryService.run_trace` under the
+    given tie-break seed; by the service's determinism contract the
+    results and per-disk page counts must be seed-invariant.
+    """
+    spec = _serve_spec(
+        scheme,
+        {
+            "num_points": num_points,
+            "dimension": dimension,
+            "k": k,
+            "num_disks": num_disks,
+            "data_seed": data_seed,
+        },
+    )
+    trace = _tied_serve_trace(spec, num_queries)
+
+    def run(seed: Optional[int]) -> RunSummary:
+        """Cold serve run of this cell under tie-break ``seed``."""
+        service = QueryService(build_engine(spec), "fifo")
+        report = service.run_trace(trace, tiebreak_seed=seed)
+        return summarize_report(report)
+
+    return ReplayCase(name=f"{scheme}/serve", run=run)
+
+
+def _virtual_clock_findings(
+    scheme: str, case_kwargs: Dict[str, int]
+) -> List[Finding]:
+    """Check the served run leaves its VirtualClock on ``completion_ms``.
+
+    This is the runtime half of the static
+    ``no-wall-clock-in-virtual-time`` lint rule: if any wall-clock (or
+    otherwise un-modeled) time source leaked into the planner, the
+    clock it drives and the report it emits disagree.
+    """
+    spec = _serve_spec(scheme, case_kwargs)
+    trace = _tied_serve_trace(
+        spec, case_kwargs.get("num_queries", 24)
+    )
+    service = QueryService(build_engine(spec), "fifo")
+    clock = VirtualClock()
+    report = service.run_trace(trace, clock=clock)
+    source = f"sanitize://serve/{scheme}/virtual-clock"
+    if clock.now_ms() != report.completion_ms:
+        return [
+            Finding(
+                source, 1, "sanitize-virtual-clock",
+                f"after run_trace the driving VirtualClock reads "
+                f"{clock.now_ms()} ms but the report's completion_ms is "
+                f"{report.completion_ms} ms; the planner's timeline is "
+                f"not a pure function of the arrival trace",
+            )
+        ]
+    return []
+
+
 def _traced_stream_findings(
     scheme: str,
     case_kwargs: Dict[str, int],
@@ -177,8 +290,9 @@ def smoke_matrix(
 
     For each scheme x engine cell the tie-break replay runs under
     ``seeds``; each scheme additionally gets one traced event run for
-    the stream/oracle checks; the whole matrix runs inside the global
-    RNG guard.
+    the stream/oracle checks, one serve-layer replay cell
+    (:func:`build_serve_replay_case`), and the virtual-clock invariant
+    check; the whole matrix runs inside the global RNG guard.
     """
     findings: List[Finding] = []
     with global_rng_guard("sanitize://matrix") as rng_findings:
@@ -188,6 +302,11 @@ def smoke_matrix(
                 findings.extend(replay_check(case, seeds=seeds))
             findings.extend(
                 _traced_stream_findings(scheme, dict(case_kwargs))
+            )
+            serve_case = build_serve_replay_case(scheme, **case_kwargs)
+            findings.extend(replay_check(serve_case, seeds=seeds))
+            findings.extend(
+                _virtual_clock_findings(scheme, dict(case_kwargs))
             )
     findings.extend(rng_findings)
     return sorted(findings)
@@ -207,6 +326,10 @@ def _rule_summaries() -> Dict[str, str]:
         ),
         "sanitize-replay-divergence": (
             "run output depends on the tie-break seed"
+        ),
+        "sanitize-virtual-clock": (
+            "served run's VirtualClock disagrees with the report's "
+            "completion time"
         ),
         "sanitize-unseeded-rng": (
             "global RNG state advanced during a simulated run"

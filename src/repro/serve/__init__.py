@@ -3,6 +3,10 @@
 ``repro.serve`` turns the single-query engines into a multi-client
 service (the ROADMAP's inter-query parallelism direction):
 
+* :mod:`repro.serve.clock` — the :class:`Clock` abstraction separating
+  the deterministic :class:`VirtualClock` stream time from the
+  :class:`LoopClock` wall-clock boundary (statically enforced by the
+  ``no-wall-clock-in-virtual-time`` lint rule).
 * :mod:`repro.serve.scheduler` — batching policies (``fifo``,
   ``max-batch``) and their registry.
 * :mod:`repro.serve.service` — :class:`QueryService`, the asyncio front
@@ -14,6 +18,7 @@ service (the ROADMAP's inter-query parallelism direction):
 See ``docs/serving.md`` for the architecture tour.
 """
 
+from repro.serve.clock import Clock, LoopClock, VirtualClock
 from repro.serve.loadgen import (
     ClosedLoopSource,
     LoadPoint,
@@ -44,6 +49,9 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "Clock",
+    "VirtualClock",
+    "LoopClock",
     "SchedulerPolicy",
     "FifoPolicy",
     "MaxBatchPolicy",

@@ -58,6 +58,7 @@ from repro.obs.tracer import Tracer
 from repro.parallel.cache import CacheStats
 from repro.parallel.paged import PagedStore
 from repro.parallel.window import parallel_window_query
+from repro.serve.clock import Clock, LoopClock, VirtualClock
 from repro.serve.scheduler import SchedulerPolicy, make_scheduler
 
 __all__ = [
@@ -323,18 +324,31 @@ class QueryService:
         Optional :class:`~repro.obs.tracer.Tracer` for the ``serve_*``
         stream events; when omitted the ambient tracer — if any — is
         used.
+    clock:
+        The :class:`~repro.serve.clock.Clock` the *asyncio* front door
+        stamps admissions and deadlines with; defaults to the event
+        loop's :class:`~repro.serve.clock.LoopClock`.  The virtual-time
+        planner never reads it — ``run_stream`` drives its own
+        :class:`~repro.serve.clock.VirtualClock`.
     """
+
+    #: Attributes a single owner (the scheduler task) mutates; the
+    #: ``async-atomicity-violation`` lint rule treats writes to these
+    #: as race-free by annotation rather than by lock.
+    _SINGLE_WRITER = frozenset({"_async_batches"})
 
     def __init__(
         self,
         engine: Any,
         policy: Union[str, SchedulerPolicy] = "fifo",
         tracer: Optional[Tracer] = None,
+        clock: Optional[Clock] = None,
         **policy_kwargs: object,
     ):
         self.engine = engine
         self.policy = make_scheduler(policy, **policy_kwargs)
         self.tracer = tracer
+        self.clock: Clock = clock if clock is not None else LoopClock()
         store = getattr(engine, "store", None)
         self.num_disks = int(getattr(store, "num_disks", 1))
         self.page_service_time_ms = float(
@@ -464,6 +478,7 @@ class QueryService:
         on_batch: Optional[
             Callable[[List[QueryRequest], BatchOutcome], None]
         ] = None,
+        clock: Optional[VirtualClock] = None,
     ) -> ServeReport:
         """Drain an arrival source in virtual time; returns the report.
 
@@ -473,17 +488,26 @@ class QueryService:
         ``policy.max_batch`` requests — strictly in arrival order —
         and execute.  ``on_batch`` runs after each batch (the
         closed-loop generator's completion feedback hook).
+
+        The run is timed on a :class:`~repro.serve.clock.VirtualClock`
+        (a caller-supplied one, else a fresh clock at 0 ms) advanced to
+        each batch's flush and completion instants; when the source is
+        drained the clock sits exactly on the report's
+        ``completion_ms``, and its monotonicity check turns any
+        backwards flush schedule into a hard error.
         """
         tracer = self._active_tracer()
         traced = tracer.enabled
+        if clock is None:
+            clock = VirtualClock()
         cache = getattr(self.engine, "cache", None)
         cache_before = cache.stats() if cache is not None else None
         pending: List[Tuple[int, QueryRequest]] = []
         outcomes: Dict[int, RequestOutcome] = {}
         batch_sizes: List[int] = []
         pages = np.zeros(self.num_disks, dtype=np.int64)
-        executor_free = 0.0
-        completion = 0.0
+        executor_free = clock.now_ms()
+        completion = clock.now_ms()
         batch_id = 0
 
         def absorb_one() -> bool:
@@ -524,8 +548,9 @@ class QueryService:
             take = self.policy.take(len(pending))
             batch, pending = pending[:take], pending[take:]
             requests = [request for _, request in batch]
+            clock.advance_to(flush_ms)
             outcome = self.execute_batch(
-                requests, flush_ms=flush_ms, batch_id=batch_id,
+                requests, flush_ms=clock.now_ms(), batch_id=batch_id,
                 metrics=metrics,
             )
             for (token, request), result in zip(batch, outcome.results):
@@ -539,8 +564,9 @@ class QueryService:
                 )
             pages += outcome.pages_per_disk
             batch_sizes.append(len(batch))
-            executor_free = outcome.completion_ms
-            completion = max(completion, outcome.completion_ms)
+            clock.advance_to(outcome.completion_ms)
+            executor_free = clock.now_ms()
+            completion = max(completion, clock.now_ms())
             batch_id += 1
             if on_batch is not None:
                 on_batch(requests, outcome)
@@ -563,6 +589,7 @@ class QueryService:
         trace: Sequence[QueryRequest],
         metrics: Optional[MetricsRegistry] = None,
         tiebreak_seed: Optional[int] = None,
+        clock: Optional[VirtualClock] = None,
     ) -> ServeReport:
         """Serve a fixed arrival trace deterministically in virtual time.
 
@@ -571,7 +598,8 @@ class QueryService:
         sanitizer's hook point) permutes them.  The report's outcomes
         are always restored to input positions, and by the determinism
         contract results and per-disk page counts must not depend on
-        the seed.
+        the seed.  ``clock`` is forwarded to :meth:`run_stream` (the
+        sanitizer hands one in to cross-check the run's timeline).
         """
         if tiebreak_seed is None:
             order = sorted(
@@ -586,31 +614,53 @@ class QueryService:
                 key=lambda i: (trace[i].arrival_ms, int(perm[i])),
             )
         source = ListSource([(index, trace[index]) for index in order])
-        return self.run_stream(source, metrics=metrics)
+        return self.run_stream(source, metrics=metrics, clock=clock)
 
     # ------------------------------------------------------- asyncio front
 
     async def start(self) -> None:
-        """Start the background scheduler task (idempotent guard)."""
+        """Start the background scheduler task.
+
+        Starting twice while the scheduler task is live raises; a
+        *finished* task (the scheduler crashed, e.g. the engine raised
+        outside a batch) is reaped instead of pinning the service in
+        "started" forever — reaping re-raises the task's stored
+        exception so the crash cannot pass silently, after which a
+        fresh ``start()`` succeeds.
+        """
         if self._task is not None:
-            raise RuntimeError("QueryService is already started")
-        self._queue = asyncio.Queue()
-        self._loop_t0 = asyncio.get_running_loop().time()
+            if not self._task.done():
+                raise RuntimeError("QueryService is already started")
+            task = self._task
+            self._task = None
+            self._queue = None
+            task.result()
+        queue: "asyncio.Queue[Optional[_Admission]]" = asyncio.Queue()
+        self._queue = queue
+        self._loop_t0 = self.clock.now_ms()
         self._async_batches = 0
-        self._task = asyncio.create_task(self._serve_loop())
+        self._task = asyncio.create_task(self._serve_loop(queue))
 
     async def stop(self) -> None:
-        """Flush remaining admissions and stop the scheduler task."""
-        if self._task is None or self._queue is None:
+        """Flush remaining admissions and stop the scheduler task.
+
+        Ownership of the task and queue transfers to this coroutine
+        *before* it suspends: a concurrent second ``stop()`` (or a
+        ``start()``) interleaved at the ``await`` observes the service
+        already stopped instead of double-draining the same task.
+        """
+        task = self._task
+        queue = self._queue
+        if task is None or queue is None:
             return
-        await self._queue.put(None)
-        await self._task
         self._task = None
         self._queue = None
+        await queue.put(None)
+        await task
 
     def _now_ms(self) -> float:
-        """Milliseconds since :meth:`start` on the running loop."""
-        return (asyncio.get_running_loop().time() - self._loop_t0) * 1000.0
+        """Milliseconds since :meth:`start` on the service clock."""
+        return self.clock.now_ms() - self._loop_t0
 
     async def submit(self, request: QueryRequest) -> RequestOutcome:
         """Admit one request; resolves when its batch completes.
@@ -619,7 +669,8 @@ class QueryService:
         clock (ms since :meth:`start`); concurrent submitters are
         batched together by the scheduler task in admission order.
         """
-        if self._queue is None:
+        queue = self._queue
+        if queue is None:
             raise RuntimeError(
                 "QueryService is not started; use 'await service.start()'"
             )
@@ -637,7 +688,7 @@ class QueryService:
         future: "asyncio.Future[RequestOutcome]" = (
             asyncio.get_running_loop().create_future()
         )
-        await self._queue.put(_Admission(stamped, future))
+        await queue.put(_Admission(stamped, future))
         return await future
 
     async def knn(
@@ -658,12 +709,9 @@ class QueryService:
             return [], True
         admissions = [first]
         closing = False
-        deadline = (
-            asyncio.get_running_loop().time()
-            + self.policy.deadline_ms / 1000.0
-        )
+        deadline_ms = self.clock.now_ms() + self.policy.deadline_ms
         while not self.policy.size_triggered(len(admissions)):
-            timeout = deadline - asyncio.get_running_loop().time()
+            timeout = (deadline_ms - self.clock.now_ms()) / 1000.0
             if timeout <= 0:
                 try:
                     item = queue.get_nowait()
@@ -680,19 +728,32 @@ class QueryService:
             admissions.append(item)
         return admissions, closing
 
-    async def _serve_loop(self) -> None:
-        """Scheduler task: batch admissions and resolve their futures."""
-        assert self._queue is not None
+    async def _serve_loop(
+        self, queue: "asyncio.Queue[Optional[_Admission]]"
+    ) -> None:
+        """Scheduler task: batch admissions and resolve their futures.
+
+        The queue arrives as a parameter rather than through
+        ``self._queue`` — ``stop()`` nulls that attribute while this
+        task is still draining, so rereading it here would race the
+        shutdown.  Batch execution is offloaded to a worker thread
+        (``asyncio.to_thread`` carries the ambient tracer's
+        contextvars) so a large batch never stalls the event loop and
+        concurrent submitters keep being admitted.
+        """
         while True:
-            admissions, closing = await self._collect_batch(self._queue)
+            admissions, closing = await self._collect_batch(queue)
             if admissions:
                 requests = [adm.request for adm in admissions]
                 flush_ms = self._now_ms()
                 batch_id = self._async_batches
                 self._async_batches += 1
                 try:
-                    outcome = self.execute_batch(
-                        requests, flush_ms=flush_ms, batch_id=batch_id
+                    outcome = await asyncio.to_thread(
+                        self.execute_batch,
+                        requests,
+                        flush_ms=flush_ms,
+                        batch_id=batch_id,
                     )
                 except (ValueError, TypeError, KeyError, RuntimeError,
                         OSError) as error:

@@ -1,0 +1,743 @@
+"""Tests for the async-safety lint rules (``repro.lint.concurrency``).
+
+Every rule gets bad fixtures (must fire) and good fixtures (must stay
+silent), written into tmp trees mirroring the real ``src/repro`` layout
+so default scopes and the virtual-time root qualnames apply.  The
+acceptance meta-tests inject the two headline bugs — an atomicity race
+and a wall-clock read — into ``repro.serve`` fixture trees and prove
+the committed-baseline CLI run turns red.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+import repro
+from repro.lint import LintConfig, run_lint
+from repro.lint.cli import RULE_GROUPS, main
+from repro.lint.concurrency import (
+    CONCURRENCY_RULES,
+    async_functions,
+    suspension_lines,
+)
+
+REPO_SRC = pathlib.Path(repro.__file__).parent
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+CONCURRENCY_RULE_NAMES = tuple(rule.name for rule in CONCURRENCY_RULES)
+
+
+def write_snippet(tmp_path, relpath, source):
+    """Write ``source`` at ``relpath`` inside a fake repo tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return target
+
+
+def lint_rule(tmp_path, relpath, source, rule):
+    """Lint one snippet with only ``rule`` enabled."""
+    write_snippet(tmp_path, relpath, source)
+    return run_lint([tmp_path], LintConfig(enabled=frozenset({rule})))
+
+
+def lint_concurrency(tmp_path):
+    """Lint a prepared tree with only the concurrency rules enabled."""
+    return run_lint(
+        [tmp_path],
+        LintConfig(enabled=frozenset(CONCURRENCY_RULE_NAMES)),
+    )
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestClassification:
+    SOURCE = """\
+        import asyncio
+
+        class Service:
+            async def submit(self, queue):
+                await queue.put(1)
+                async with self._lock:
+                    pass
+
+            def plan(self):
+                return 3
+    """
+
+    def test_async_functions_and_suspensions(self, tmp_path):
+        from repro.lint.callgraph import ProjectIndex
+        from repro.lint.module import ModuleInfo
+
+        path = write_snippet(
+            tmp_path, "src/repro/serve/fixture.py", self.SOURCE
+        )
+        index = ProjectIndex([ModuleInfo.parse(path)])
+        coros = async_functions(index)
+        assert "repro.serve.fixture.Service.submit" in coros
+        assert "repro.serve.fixture.Service.plan" not in coros
+        submit = index.functions["repro.serve.fixture.Service.submit"]
+        assert len(suspension_lines(submit.node)) == 2
+
+    def test_nested_coroutine_suspends_on_its_own(self):
+        func = ast.parse(
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        await thing()\n"
+            "    return inner\n"
+        ).body[0]
+        assert suspension_lines(func) == ()
+
+
+class TestAsyncAtomicityViolation:
+    BAD = """\
+        class Service:
+            async def stop(self):
+                if self._task is None:
+                    return
+                await self._queue.put(None)
+                self._task = None
+    """
+    GOOD_OWNERSHIP = """\
+        class Service:
+            async def stop(self):
+                task = self._task
+                self._task = None
+                if task is None:
+                    return
+                await task
+    """
+    GOOD_SINGLE_WRITER = """\
+        class Service:
+            _SINGLE_WRITER = frozenset({"_batches"})
+
+            async def loop(self, queue):
+                while True:
+                    item = await queue.get()
+                    self._batches = self._batches + 1
+                    if item is None:
+                        return
+    """
+    GOOD_LOCKED = """\
+        class Service:
+            async def bump(self):
+                async with self._lock:
+                    old = self._count
+                    await self._audit(old)
+                    self._count = old + 1
+    """
+    BAD_LOOP = """\
+        class Service:
+            async def loop(self, queue):
+                while True:
+                    item = await queue.get()
+                    self._batches = self._batches + 1
+                    if item is None:
+                        return
+    """
+
+    def test_fires_on_read_await_write(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.BAD,
+            "async-atomicity-violation",
+        )
+        assert rules_of(findings) == ["async-atomicity-violation"]
+        assert "_task" in findings[0].message
+        assert "Service.stop" in findings[0].message
+        assert findings[0].line == 6  # anchored at the write
+
+    def test_silent_on_ownership_transfer(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.GOOD_OWNERSHIP,
+            "async-atomicity-violation",
+        ) == []
+
+    def test_loop_body_races_across_iterations(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.BAD_LOOP,
+            "async-atomicity-violation",
+        )
+        assert rules_of(findings) == ["async-atomicity-violation"]
+        assert "_batches" in findings[0].message
+
+    def test_single_writer_annotation_sanctions(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py",
+            self.GOOD_SINGLE_WRITER, "async-atomicity-violation",
+        ) == []
+
+    def test_lock_sanctions(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.GOOD_LOCKED,
+            "async-atomicity-violation",
+        ) == []
+
+    def test_silent_without_suspension(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            class Service:
+                async def reset(self):
+                    old = self._count
+                    self._count = old + 1
+            """,
+            "async-atomicity-violation",
+        ) == []
+
+
+class TestNoWallClockInVirtualTime:
+    BAD_DIRECT = """\
+        import time
+
+        class QueryService:
+            def run_stream(self, source):
+                return time.monotonic()
+    """
+    BAD_CHAIN = """\
+        import asyncio
+
+        class QueryService:
+            def run_stream(self, source):
+                return asyncio.get_running_loop().time()
+    """
+    BAD_HELPER = """\
+        import time
+
+        def stamp():
+            return time.time()
+
+        class QueryService:
+            def run_stream(self, source):
+                return stamp()
+    """
+    GOOD_UNREACHABLE = """\
+        import time
+
+        def bench_only():
+            return time.perf_counter()
+
+        class QueryService:
+            def run_stream(self, source):
+                return 0.0
+    """
+
+    def test_fires_in_entry_point(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/service.py", self.BAD_DIRECT,
+            "no-wall-clock-in-virtual-time",
+        )
+        assert rules_of(findings) == ["no-wall-clock-in-virtual-time"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_fires_on_loop_time_chain(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/service.py", self.BAD_CHAIN,
+            "no-wall-clock-in-virtual-time",
+        )
+        assert rules_of(findings) == ["no-wall-clock-in-virtual-time"]
+        assert "event-loop time()" in findings[0].message
+
+    def test_reconstructs_reaching_path(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/service.py", self.BAD_HELPER,
+            "no-wall-clock-in-virtual-time",
+        )
+        assert len(findings) == 1
+        assert "reached from" in findings[0].message
+        assert "run_stream" in findings[0].message
+
+    def test_silent_when_unreachable(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/service.py", self.GOOD_UNREACHABLE,
+            "no-wall-clock-in-virtual-time",
+        ) == []
+
+    def test_clock_module_is_exempt(self, tmp_path):
+        write_snippet(
+            tmp_path, "src/repro/serve/clock.py", """\
+            import asyncio
+
+            class LoopClock:
+                def now_ms(self):
+                    return asyncio.get_running_loop().time() * 1000.0
+            """,
+        )
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/service.py", """\
+            class QueryService:
+                def run_stream(self, source):
+                    return self.clock.now_ms()
+            """,
+            "no-wall-clock-in-virtual-time",
+        )
+        assert findings == []
+
+    def test_simulator_run_is_an_automatic_root(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/parallel/sim.py", """\
+            import time
+
+            class EventDrivenSimulator:
+                def run(self, arrivals):
+                    return time.time()
+            """,
+            "no-wall-clock-in-virtual-time",
+        )
+        assert rules_of(findings) == ["no-wall-clock-in-virtual-time"]
+
+
+class TestAsyncBlockingCall:
+    BAD_HELPER = """\
+        import time
+
+        class Service:
+            async def submit(self, request):
+                return self._plan(request)
+
+            def _plan(self, request):
+                time.sleep(0.01)
+                return request
+    """
+    BAD_ENGINE = """\
+        class Service:
+            async def submit(self, batch):
+                return self.engine.query_batch(batch, k=5)
+    """
+    GOOD_OFFLOADED = """\
+        import asyncio
+
+        class Service:
+            async def submit(self, batch):
+                return await asyncio.to_thread(self.execute, batch)
+
+            def execute(self, batch):
+                return self.engine.query_batch(batch, k=5)
+    """
+    GOOD_SYNC_ONLY = """\
+        import time
+
+        def measure():
+            time.sleep(0.01)
+    """
+
+    def test_fires_through_sync_helper_with_path(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.BAD_HELPER,
+            "async-blocking-call",
+        )
+        assert rules_of(findings) == ["async-blocking-call"]
+        message = findings[0].message
+        assert "time.sleep" in message
+        assert "Service.submit -> " in message
+
+    def test_fires_on_direct_engine_call(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.BAD_ENGINE,
+            "async-blocking-call",
+        )
+        assert rules_of(findings) == ["async-blocking-call"]
+        assert "query_batch" in findings[0].message
+
+    def test_to_thread_offload_is_silent(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.GOOD_OFFLOADED,
+            "async-blocking-call",
+        ) == []
+
+    def test_blocking_in_pure_sync_code_is_silent(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", self.GOOD_SYNC_ONLY,
+            "async-blocking-call",
+        ) == []
+
+    def test_fires_through_computed_receiver(self, tmp_path):
+        """``Service().run(...)`` has no dotted name, but the call
+        graph's name-based fallback must still produce the edge — and
+        resolving ``Service()``'s missing ``__init__`` must terminate
+        even though this sparse fixture tree has no package modules."""
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            import time
+
+            class Service:
+                def run(self, source):
+                    return self._drain(source)
+
+                def _drain(self, source):
+                    time.sleep(0.01)
+                    return source
+
+            async def pump(source):
+                return Service().run(source)
+            """,
+            "async-blocking-call",
+        )
+        assert rules_of(findings) == ["async-blocking-call"]
+        assert "pump -> " in findings[0].message
+        assert "_drain" in findings[0].message
+
+
+class TestTaskLeak:
+    def test_fires_on_discarded_create_task(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            import asyncio
+
+            class Service:
+                async def start(self):
+                    asyncio.create_task(self._loop())
+
+                async def _loop(self):
+                    pass
+            """,
+            "task-leak",
+        )
+        assert rules_of(findings) == ["task-leak"]
+        assert "create_task" in findings[0].message
+
+    def test_fires_on_loop_spawner(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            import asyncio
+
+            async def kick(coro):
+                loop = asyncio.get_running_loop()
+                loop.create_task(coro)
+            """,
+            "task-leak",
+        )
+        assert rules_of(findings) == ["task-leak"]
+
+    def test_stored_handle_is_silent(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            import asyncio
+
+            class Service:
+                async def start(self):
+                    self._task = asyncio.create_task(self._loop())
+
+                async def _loop(self):
+                    pass
+            """,
+            "task-leak",
+        ) == []
+
+
+class TestMissingAwait:
+    def test_fires_on_discarded_self_coroutine(self, tmp_path):
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            class Service:
+                async def stop(self):
+                    pass
+
+                async def restart(self):
+                    self.stop()
+            """,
+            "missing-await",
+        )
+        assert rules_of(findings) == ["missing-await"]
+        assert "never runs" in findings[0].message
+
+    def test_fires_on_import_resolved_coroutine(self, tmp_path):
+        write_snippet(
+            tmp_path, "src/repro/serve/helpers.py",
+            "async def drain(queue):\n    await queue.join()\n",
+        )
+        findings = lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            from repro.serve.helpers import drain
+
+            def shutdown(queue):
+                drain(queue)
+            """,
+            "missing-await",
+        )
+        assert rules_of(findings) == ["missing-await"]
+
+    def test_awaited_call_is_silent(self, tmp_path):
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            class Service:
+                async def stop(self):
+                    pass
+
+                async def restart(self):
+                    await self.stop()
+            """,
+            "missing-await",
+        ) == []
+
+    def test_name_fallback_is_not_guessed(self, tmp_path):
+        """Unresolvable receivers are skipped — the documented
+        under-approximation that keeps the rule false-positive-free."""
+        assert lint_rule(
+            tmp_path, "src/repro/serve/fixture.py", """\
+            class Service:
+                async def stop(self):
+                    pass
+
+            def poke(other):
+                other.stop()
+            """,
+            "missing-await",
+        ) == []
+
+
+class TestSuppressionAndReporting:
+    RACY = """\
+        class Service:
+            async def stop(self):
+                if self._task is None:
+                    return
+                await self._queue.put(None)
+                self._task = None{suffix}
+    """
+
+    def test_same_line_suppression_silences(self, tmp_path):
+        source = self.RACY.format(
+            suffix="  # repro-lint: disable=async-atomicity-violation"
+        )
+        write_snippet(tmp_path, "src/repro/serve/fixture.py", source)
+        findings = run_lint(
+            [tmp_path],
+            LintConfig(
+                enabled=frozenset(
+                    {"async-atomicity-violation", "unused-suppression"}
+                )
+            ),
+        )
+        assert findings == []
+
+    def test_unused_suppression_is_reported(self, tmp_path):
+        write_snippet(
+            tmp_path, "src/repro/serve/fixture.py",
+            "x = 1  # repro-lint: disable=task-leak\n",
+        )
+        findings = run_lint([tmp_path])
+        assert rules_of(findings) == ["unused-suppression"]
+        assert "task-leak" in findings[0].message
+
+    def test_sarif_round_trip(self, tmp_path, capsys):
+        write_snippet(
+            tmp_path, "src/repro/serve/fixture.py",
+            self.RACY.format(suffix=""),
+        )
+        assert main([str(tmp_path), "--format=sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        run = payload["runs"][0]
+        reported = {
+            result["ruleId"] for result in run["results"]
+        }
+        assert "async-atomicity-violation" in reported
+        declared = {
+            rule["id"]
+            for rule in run["tool"]["driver"]["rules"]
+        }
+        assert set(CONCURRENCY_RULE_NAMES) <= declared
+        result = next(
+            r for r in run["results"]
+            if r["ruleId"] == "async-atomicity-violation"
+        )
+        assert "reproLintFingerprint/v1" in result["partialFingerprints"]
+
+    def test_baseline_gates_concurrency_findings(self, tmp_path, capsys):
+        write_snippet(
+            tmp_path, "src/repro/serve/fixture.py",
+            self.RACY.format(suffix=""),
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(tmp_path), f"--update-baseline={baseline}"]
+        ) == 0
+        capsys.readouterr()
+        assert main([str(tmp_path), f"--baseline={baseline}"]) == 0
+        write_snippet(
+            tmp_path, "src/repro/serve/other.py", """\
+            import asyncio
+
+            async def fire(coro):
+                asyncio.create_task(coro)
+            """,
+        )
+        capsys.readouterr()
+        assert main([str(tmp_path), f"--baseline={baseline}"]) == 1
+        assert "task-leak" in capsys.readouterr().out
+
+
+class TestCliFlags:
+    def test_select_group_expands(self, tmp_path, capsys):
+        assert set(RULE_GROUPS["concurrency"]) == set(
+            CONCURRENCY_RULE_NAMES
+        )
+        write_snippet(
+            tmp_path, "src/repro/serve/fixture.py",
+            'print("hi")\n',
+        )
+        # no-print is outside the concurrency group: selected run stays
+        # green, full run goes red.
+        assert main([str(tmp_path), "--select=concurrency"]) == 0
+        capsys.readouterr()
+        assert main([str(tmp_path)]) == 1
+
+    def test_select_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select=not-a-rule", "src"]) == 2
+        assert "names no known rule" in capsys.readouterr().err
+
+    def test_jobs_matches_serial_findings(self, tmp_path):
+        write_snippet(
+            tmp_path, "src/repro/serve/a.py",
+            TestAsyncAtomicityViolation.BAD,
+        )
+        write_snippet(
+            tmp_path, "src/repro/serve/b.py",
+            "import asyncio\n\n\nasync def fire(c):\n"
+            "    asyncio.create_task(c)\n",
+        )
+        serial = run_lint([tmp_path])
+        parallel = run_lint([tmp_path], jobs=4)
+        assert serial == parallel
+        assert len(serial) >= 2
+
+    def test_jobs_rejects_nonpositive(self, tmp_path, capsys):
+        with pytest.raises(ValueError):
+            run_lint([tmp_path], jobs=0)
+        assert main(["--jobs=0", str(tmp_path)]) == 2
+
+    def test_time_budget_gate(self, tmp_path, capsys):
+        write_snippet(tmp_path, "src/repro/serve/fixture.py", "x = 1\n")
+        assert main([str(tmp_path), "--time-budget=60"]) == 0
+        err = capsys.readouterr().err
+        assert "within budget" in err
+        assert main([str(tmp_path), "--time-budget=0"]) == 1
+        assert "OVER BUDGET" in capsys.readouterr().err
+
+    def test_list_rules_names_concurrency_layer(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in CONCURRENCY_RULE_NAMES:
+            assert rule in out
+
+
+INJECTED_ATOMICITY_BUG = """\
+    import asyncio
+
+
+    class QueryService:
+        async def stop(self):
+            if self._task is None or self._queue is None:
+                return
+            await self._queue.put(None)
+            await self._task
+            self._task = None
+            self._queue = None
+"""
+
+INJECTED_WALL_CLOCK_BUG = """\
+    import asyncio
+
+
+    class QueryService:
+        def run_stream(self, source):
+            t0 = asyncio.get_event_loop().time()
+            return self._drain(source, t0)
+
+        def _drain(self, source, t0):
+            return t0
+"""
+
+
+class TestAcceptanceMetaTests:
+    """ISSUE acceptance: each headline rule catches a deliberately
+    injected bug in a ``repro.serve`` fixture against the *committed*
+    baseline — proving the live gate would block these regressions."""
+
+    def test_injected_atomicity_bug_turns_committed_baseline_red(
+        self, tmp_path, capsys
+    ):
+        write_snippet(
+            tmp_path, "src/repro/serve/service.py",
+            INJECTED_ATOMICITY_BUG,
+        )
+        committed = REPO_ROOT / "lint-baseline.json"
+        assert main([str(tmp_path), f"--baseline={committed}"]) == 1
+        assert "async-atomicity-violation" in capsys.readouterr().out
+
+    def test_injected_wall_clock_bug_turns_committed_baseline_red(
+        self, tmp_path, capsys
+    ):
+        write_snippet(
+            tmp_path, "src/repro/serve/service.py",
+            INJECTED_WALL_CLOCK_BUG,
+        )
+        committed = REPO_ROOT / "lint-baseline.json"
+        assert main([str(tmp_path), f"--baseline={committed}"]) == 1
+        assert "no-wall-clock-in-virtual-time" in capsys.readouterr().out
+
+
+def test_live_tree_is_clean_under_concurrency_rules():
+    """The shipped tree — including ``repro.serve`` — carries zero
+    async-safety findings (none even baselined)."""
+    findings = run_lint(
+        [REPO_SRC],
+        LintConfig(enabled=frozenset(CONCURRENCY_RULE_NAMES)),
+    )
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_committed_baseline_has_no_concurrency_entries():
+    """The new rules gate the live tree directly, not via baseline."""
+    payload = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    recorded = {entry["rule"] for entry in payload["findings"]}
+    assert recorded.isdisjoint(CONCURRENCY_RULE_NAMES)
+
+
+class TestBaselineFreshnessScript:
+    """scripts/check_baseline_fresh.py — stale-fingerprint auditor."""
+
+    @staticmethod
+    def _script():
+        import sys
+
+        scripts_dir = str(REPO_ROOT / "scripts")
+        if scripts_dir not in sys.path:
+            sys.path.insert(0, scripts_dir)
+        import check_baseline_fresh
+
+        return check_baseline_fresh
+
+    def test_fresh_and_stale_round_trip(self, tmp_path, capsys):
+        script = self._script()
+        write_snippet(
+            tmp_path, "src/repro/serve/fixture.py",
+            TestSuppressionAndReporting.RACY.format(suffix=""),
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main([str(tmp_path), f"--update-baseline={baseline}"]) == 0
+        capsys.readouterr()
+        # Every recorded fingerprint still emitted: fresh.
+        assert script.main([str(baseline), str(tmp_path)]) == 0
+        assert "fresh" in capsys.readouterr().out
+        # Fix the finding without updating the baseline: stale.
+        write_snippet(
+            tmp_path, "src/repro/serve/fixture.py",
+            TestAsyncAtomicityViolation.GOOD_OWNERSHIP,
+        )
+        assert script.main([str(baseline), str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "stale" in out
+        assert "async-atomicity-violation" in out
+
+    def test_bad_schema_is_usage_error(self, tmp_path, capsys):
+        script = self._script()
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"schema": "other/v9", "findings": []}))
+        assert script.main([str(bad), str(tmp_path)]) == 2
+        assert "expected schema" in capsys.readouterr().err

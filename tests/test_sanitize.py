@@ -25,7 +25,11 @@ from repro.sanitize import (
     smoke_matrix,
     summarize_report,
 )
-from repro.sanitize.cli import main
+from repro.sanitize.cli import (
+    _virtual_clock_findings,
+    build_serve_replay_case,
+    main,
+)
 from repro.sanitize.replay import REPLAY_DIVERGENCE
 from repro.sanitize.stream import (
     CLOCK_MONOTONIC,
@@ -349,3 +353,48 @@ class TestPytestFixture:
         with pytest.raises(AssertionError, match="unseeded-rng"):
             with determinism_sanitizer.rng_guard():
                 getattr(np.random, "random")(2)
+
+
+class TestServeCells:
+    """The serving-layer cells added to the sanitizer matrix."""
+
+    def test_serve_replay_case_is_clean(self):
+        case = build_serve_replay_case(
+            "col", num_points=120, num_queries=8, dimension=4,
+            num_disks=4, k=3,
+        )
+        assert case.name == "col/serve"
+        assert replay_check(case, seeds=(None, 11)) == []
+
+    def test_virtual_clock_check_is_clean(self):
+        findings = _virtual_clock_findings("col", dict(SMALL))
+        assert findings == []
+
+    def test_skewed_clock_is_flagged(self, monkeypatch):
+        """Simulate an un-modeled time source leaking into the planner:
+        the driving clock ends ahead of the report and the runtime
+        check must flag it."""
+        from repro.serve.service import QueryService
+
+        real_run_trace = QueryService.run_trace
+
+        def skewed(self, trace, clock=None, **kwargs):
+            report = real_run_trace(self, trace, clock=clock, **kwargs)
+            clock.advance(1.0)  # phantom millisecond of wall time
+            return report
+
+        monkeypatch.setattr(QueryService, "run_trace", skewed)
+        findings = _virtual_clock_findings("col", dict(SMALL))
+        assert rules_of(findings) == ["sanitize-virtual-clock"]
+        assert "completion_ms" in findings[0].message
+
+    def test_cli_sarif_declares_virtual_clock_rule(self, capsys):
+        assert main([
+            "--num-points", "120", "--num-queries", "8",
+            "--schemes", "col", "--engines", "throughput",
+            "--seeds", "11", "--format", "sarif",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        driver = document["runs"][0]["tool"]["driver"]
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert "sanitize-virtual-clock" in rule_ids
