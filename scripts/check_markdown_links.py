@@ -8,9 +8,14 @@ file or directory on disk.  External links (``http(s)://``,
 ``mailto:``), pure in-page anchors (``#section``) and autolinks are
 ignored; a ``path#anchor`` target is checked for the path part only.
 
+When scanning the default docs set it also fails on **orphaned** docs
+pages: a ``docs/**/*.md`` file reachable from neither ``README.md`` nor
+``docs/architecture.md`` (the two navigation entry points) is
+documentation nobody can find.
+
 Used by the CI ``docs`` job; importable for tests::
 
-    from check_markdown_links import find_broken_links
+    from check_markdown_links import find_broken_links, find_orphaned_docs
 """
 
 from __future__ import annotations
@@ -58,6 +63,38 @@ def default_files(root: pathlib.Path) -> List[pathlib.Path]:
     return files
 
 
+#: Pages a docs file must be reachable from to not count as orphaned.
+ENTRY_POINTS = ("README.md", "docs/architecture.md")
+
+
+def find_orphaned_docs(root: pathlib.Path) -> List[pathlib.Path]:
+    """``docs/**/*.md`` files not linked from any entry-point page.
+
+    The entry points themselves (and thus ``docs/architecture.md``) are
+    exempt — they are the navigation roots the rule is anchored to.
+    """
+    linked = set()
+    for name in ENTRY_POINTS:
+        page = root / name
+        if not page.is_file():
+            continue
+        for _, target in iter_links(page.read_text(encoding="utf-8")):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = page.parent / relative
+            if resolved.exists():
+                linked.add(resolved.resolve())
+    exempt = {(root / name).resolve() for name in ENTRY_POINTS}
+    return [
+        page
+        for page in sorted((root / "docs").glob("**/*.md"))
+        if page.resolve() not in linked and page.resolve() not in exempt
+    ]
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -66,17 +103,28 @@ def main(argv: Iterable[str] | None = None) -> int:
              "(default: repo docs set)",
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
+    orphans: List[pathlib.Path] = []
     if args.paths:
         files: List[pathlib.Path] = []
         for path in args.paths:
             files += sorted(path.glob("**/*.md")) if path.is_dir() else [path]
     else:
-        files = default_files(pathlib.Path(__file__).resolve().parents[1])
+        root = pathlib.Path(__file__).resolve().parents[1]
+        files = default_files(root)
+        orphans = find_orphaned_docs(root)
     broken = find_broken_links(files)
     for path, line, target in broken:
         print(f"{path}:{line}: broken link -> {target}")
-    print(f"{len(files)} files scanned, {len(broken)} broken links")
-    return 1 if broken else 0
+    for page in orphans:
+        print(
+            f"{page}: orphaned docs page (not linked from "
+            + " or ".join(ENTRY_POINTS) + ")"
+        )
+    print(
+        f"{len(files)} files scanned, {len(broken)} broken links, "
+        f"{len(orphans)} orphaned docs pages"
+    )
+    return 1 if broken or orphans else 0
 
 
 if __name__ == "__main__":

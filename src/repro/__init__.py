@@ -69,6 +69,7 @@ from repro.parallel import (
     PagedEngine,
     PagedStore,
     ParallelEngine,
+    ProcessParallelEngine,
     SequentialEngine,
 )
 
@@ -89,10 +90,17 @@ from repro.registry import (
     resolve_scheme,
 )
 from repro.persistence import (
+    StoreFormatError,
     load_paged_store,
     load_tree,
     save_paged_store,
     save_tree,
+)
+from repro.storage import (
+    MmapStore,
+    bulk_load_mmap,
+    load_mmap_store,
+    save_mmap_store,
 )
 
 __version__ = "1.0.0"
@@ -132,9 +140,11 @@ __all__ = [
     "MBR",
     "NearOptimalDeclusterer",
     "Neighbor",
+    "MmapStore",
     "PagedEngine",
     "PagedStore",
     "ParallelEngine",
+    "ProcessParallelEngine",
     "RStarTree",
     "RecursiveDeclusterer",
     "RoundRobinDeclusterer",
@@ -149,8 +159,12 @@ __all__ = [
     "knn_branch_and_bound",
     "incremental_nearest",
     "knn_linear_scan",
+    "StoreFormatError",
+    "bulk_load_mmap",
+    "load_mmap_store",
     "load_paged_store",
     "load_tree",
+    "save_mmap_store",
     "save_paged_store",
     "save_tree",
     "quantile_split_values",

@@ -196,7 +196,12 @@ def _traced_workload(args: argparse.Namespace):
     queries = rng.random((args.queries, args.d))
     declusterer = make_declusterer(args.scheme, args.d, args.disks)
     tracer = RecordingTracer(metrics=MetricsRegistry())
+    backing = getattr(args, "store", "memory")
     if args.engine == "item":
+        if backing == "mmap":
+            raise ValueError(
+                "--store mmap requires the paged or process engine"
+            )
         from repro.parallel.engine import ParallelEngine
         from repro.parallel.store import DeclusteredStore
 
@@ -208,11 +213,40 @@ def _traced_workload(args: argparse.Namespace):
         from repro.parallel.paged import PagedEngine, PagedStore
 
         store = PagedStore(points, declusterer)
-        engine = PagedEngine(store, cache=args.cache_pages, tracer=tracer)
+        if backing == "mmap" or args.engine == "process":
+            # Spill the payloads to an out-of-core store directory; the
+            # directory stays RAM-resident, pages are served via mmap.
+            import tempfile
+
+            from repro.storage import MmapStore, save_mmap_store
+
+            directory = tempfile.mkdtemp(prefix="repro-mmap-")
+            save_mmap_store(store, directory)
+            store = MmapStore(directory)
+        if args.engine == "process":
+            from repro.parallel.process import ProcessParallelEngine
+
+            if args.cache_pages:
+                raise ValueError(
+                    "--engine process is cacheless (the OS page cache "
+                    "serves warm mmap reads); drop --cache-pages"
+                )
+            engine = ProcessParallelEngine(
+                store, tracer=tracer, max_k=max(64, args.k)
+            )
+        else:
+            engine = PagedEngine(
+                store, cache=args.cache_pages, tracer=tracer
+            )
     totals = np.zeros(args.disks, dtype=np.int64)
-    for query in queries:
-        result = engine.query(query, args.k)
-        totals += result.pages_per_disk
+    try:
+        for query in queries:
+            result = engine.query(query, args.k)
+            totals += result.pages_per_disk
+    finally:
+        closer = getattr(engine, "close", None)
+        if closer is not None:
+            closer()
     return tracer, totals
 
 
@@ -489,14 +523,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="neighbors per query (default 10)")
         p.add_argument("--seed", type=int, default=0,
                        help="random seed (default 0)")
-        p.add_argument("--engine", choices=("paged", "item"),
+        p.add_argument("--engine", choices=("paged", "item", "process"),
                        default="paged",
-                       help="page-level shared-directory engine or "
-                       "item-level engine (default paged)")
+                       help="page-level shared-directory engine, "
+                       "item-level engine, or one worker process per "
+                       "disk over an mmap store (default paged)")
+        p.add_argument("--store", choices=("memory", "mmap"),
+                       default="memory",
+                       help="page backing: in-memory entries or an "
+                       "out-of-core mmap store directory (default "
+                       "memory; --engine process always uses mmap)")
         p.add_argument("--cache-pages", type=_nonnegative_int,
                        default=None, dest="cache_pages",
                        help="attach an LRU buffer pool of this many pages "
-                       "(default: no cache)")
+                       "(default: no cache; not valid with --engine "
+                       "process)")
         p.add_argument("--format", choices=formats, default=default_format,
                        help=f"output format (default {default_format})")
         p.add_argument("--out", default=None,

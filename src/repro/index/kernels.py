@@ -57,6 +57,7 @@ __all__ = [
     "child_intersects",
     "leaf_window_mask",
     "offer_leaf",
+    "offer_payload",
 ]
 
 #: Environment variable selecting the scalar fallback path.
@@ -192,3 +193,26 @@ def offer_leaf(
     keys = metric.point_keys(points, query)
     stats.distance_computations += len(node.entries)
     candidates.offer_many(keys, node.entries)
+
+
+def offer_payload(
+    candidates: "_CandidateSet",
+    points: np.ndarray,
+    oids: np.ndarray,
+    query: np.ndarray,
+    stats: "SearchStats",
+    metric: Metric = _EUCLIDEAN,
+) -> None:
+    """Leaf kernel over a raw page payload (out-of-core batch path).
+
+    The mmap store serves a page as ``(points, oids)`` arrays rather
+    than :class:`~repro.index.node.LeafEntry` objects; this scores and
+    offers them with the same arithmetic as :func:`offer_leaf` —
+    ``metric.point_keys`` over the contiguous point matrix, one
+    ``distance_computations`` charge per entry, ordered bulk insertion
+    — so in-memory and mmap-backed engines return bit-identical
+    results and counters.
+    """
+    keys = metric.point_keys(points, query)
+    stats.distance_computations += len(oids)
+    candidates.offer_many_arrays(keys, oids, points)

@@ -129,6 +129,49 @@ class _CandidateSet:
                 entry = entries[index]
                 heapq.heapreplace(heap, (-key, entry.oid, entry.point))
 
+    def offer_many_arrays(
+        self, keys: np.ndarray, oids: np.ndarray, points: np.ndarray
+    ) -> None:
+        """Array-payload twin of :meth:`offer_many`.
+
+        Same semantics over ``(N,)`` key/oid arrays and ``(N, d)``
+        points — used by the out-of-core path, where a page arrives as
+        raw arrays instead of :class:`LeafEntry` objects.  Exactly
+        equivalent to calling :meth:`offer` per row in order.
+        """
+        heap = self._heap
+        start = 0
+        total = len(oids)
+        while len(heap) < self.k and start < total:
+            heapq.heappush(
+                heap, (-float(keys[start]), int(oids[start]), points[start])
+            )
+            start += 1
+        if start >= total:
+            return
+        bound = -heap[0][0]
+        for offset in np.nonzero(keys[start:] < bound)[0]:
+            index = start + int(offset)
+            key = float(keys[index])
+            if key < -heap[0][0]:
+                heapq.heapreplace(
+                    heap, (-key, int(oids[index]), points[index])
+                )
+
+    def items(self) -> List[Tuple[float, int, np.ndarray]]:
+        """Current candidates as ``(squared key, oid, point)``, best
+        first.
+
+        Unlike :meth:`neighbors` this keeps the *exact* squared ranking
+        keys, so candidate sets merged across processes reproduce the
+        single-process pruning bound bit-for-bit (a sqrt round trip
+        would not).
+        """
+        return sorted(
+            ((-neg, oid, point) for neg, oid, point in self._heap),
+            key=lambda item: (item[0], item[1]),
+        )
+
     def neighbors(self, metric: Metric = _EUCLIDEAN) -> List[Neighbor]:
         ordered = sorted(
             ((-neg, oid, point) for neg, oid, point in self._heap)

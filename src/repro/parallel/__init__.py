@@ -29,6 +29,7 @@ from repro.parallel.events import (
     poisson_arrivals,
 )
 from repro.parallel.managed import ManagedStore, ReorganizationEvent
+from repro.parallel.process import ProcessParallelEngine
 from repro.parallel.store import DeclusteredStore
 from repro.parallel.throughput import ThroughputReport, ThroughputSimulator
 from repro.parallel.window import (
@@ -56,6 +57,7 @@ __all__ = [
     "partial_match_window",
     "PagedEngine",
     "PagedStore",
+    "ProcessParallelEngine",
     "arrival_order_assignment",
     "striped_assignment",
     "DiskArray",

@@ -30,6 +30,7 @@ from repro.core.declustering import BucketDeclusterer, Declusterer
 from repro.index import kernels
 from repro.index.bulk import bulk_load
 from repro.index.knn import SearchStats, _CandidateSet, _leaf_distances
+from repro.index.metrics import Euclidean
 from repro.index.node import DEFAULT_PAGE_BYTES, Node
 from repro.index.rstar import RStarTree
 from repro.index.xtree import XTree
@@ -51,6 +52,8 @@ __all__ = [
 ]
 
 AssignmentFunction = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+_EUCLIDEAN = Euclidean()
 
 
 def arrival_order_assignment(num_disks: int, seed: int = 0) -> AssignmentFunction:
@@ -157,6 +160,11 @@ class PagedStore:
 
     # ----------------------------------------------------------- queries
 
+    @property
+    def scheme(self) -> str:
+        """Name of the declustering scheme behind the page map."""
+        return getattr(self.declusterer, "name", "custom")
+
     def disk_of(self, leaf: Node) -> int:
         """Disk storing a data page."""
         return self._disk_of[id(leaf)]
@@ -190,6 +198,13 @@ class PagedEngine:
     already RAM-resident in this model); when omitted, the store's
     ``cache_config`` — if any — is used.  The pool persists across
     queries, so a repeated query under a warm cache charges no disk reads.
+
+    The engine also runs unchanged over an out-of-core
+    :class:`~repro.storage.mmap_store.MmapStore`: stores exposing a
+    ``read_page(leaf) -> (points, oids)`` hook have their leaf payloads
+    fetched through it (an mmap page fault on a cold page) and scored
+    via the payload kernels — results, counters, and charging are
+    bit-for-bit identical to the in-memory path.
     """
 
     def __init__(
@@ -209,6 +224,7 @@ class PagedEngine:
         self.cache = as_buffer_pool(cache, store.num_disks, store.page_bytes)
         self.tracer = tracer
         self.use_kernels = use_kernels
+        self._read_page = getattr(store, "read_page", None)
 
     def reset_cache(self) -> None:
         """Drop every cached page (next query runs cold)."""
@@ -303,7 +319,26 @@ class PagedEngine:
                             tracer.cache_miss(span, disk, node.blocks)
                         tracer.page_read(span, disk, node.blocks)
                     disks.charge(disk, node.blocks)
-                if node.entries:
+                if self._read_page is not None:
+                    # Out-of-core store: the payload is decoded from the
+                    # page file's memory map (cold read = page fault,
+                    # warm read = OS page cache) and scored as arrays.
+                    points, oids = self._read_page(node)
+                    if len(oids):
+                        if vectorized:
+                            kernels.offer_payload(
+                                candidates, points, oids, query, stats
+                            )
+                        else:
+                            keys = _EUCLIDEAN.point_keys(points, query)
+                            stats.distance_computations += len(oids)
+                            for index in range(len(oids)):
+                                candidates.offer(
+                                    float(keys[index]),
+                                    int(oids[index]),
+                                    points[index],
+                                )
+                elif node.entries:
                     if vectorized:
                         kernels.offer_leaf(candidates, node, query, stats)
                     else:

@@ -1,0 +1,486 @@
+"""True process parallelism: one worker process per simulated disk.
+
+The in-process engines *count* what a disk farm would do; this engine
+actually does it.  Each disk of an out-of-core
+:class:`~repro.storage.mmap_store.MmapStore` gets a dedicated worker
+process that maps only its own page file, walks the shared RAM
+directory best-first, reads and scores only its own disk's data pages,
+and cooperates with its siblings through a **shared monotonically
+tightening kNN pruning bound** (a ``multiprocessing`` top-k distance
+array): every candidate distance a worker finds tightens the bound all
+workers prune with.
+
+Determinism contract (see ``docs/performance.md``): the returned
+neighbors and per-disk page counts are **bit-for-bit identical** to
+:class:`~repro.parallel.paged.PagedEngine` over the same store —
+enforced by a sanitizer replay cell — while wall-clock time and the
+amount of *speculative* I/O naturally vary run to run.  This works
+because of a property of HS 95 best-first search: the set of data pages
+a single-process traversal reads is exactly the pages whose ``mindist``
+does not exceed the final k-th candidate distance ``B*`` — independent
+of visit interleaving.  So the coordinator
+
+1. lets workers race (any stale — i.e. too large — view of the shared
+   bound only causes extra speculative reads, never a missed
+   candidate, because the shared bound never drops below ``B*``),
+2. merges the workers' candidate sets into the exact global top-k
+   (squared keys, no sqrt round trip), and
+3. derives the charged page set *post hoc* by filtering the directory
+   against ``B*`` — the identical arithmetic the single-process engine
+   applies incrementally.
+
+The engine is cacheless by design: the OS page cache plays the buffer
+pool's role for mmap'd pages, and simulated-pool semantics belong to
+the in-process engines.  Boundary ties (two points at exactly distance
+``B*``) are outside the contract, as everywhere else in the repo;
+generic-position (e.g. random float) data never produces them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.index import kernels
+from repro.index.knn import SearchStats, _CandidateSet
+from repro.index.metrics import Euclidean
+from repro.index.node import Node
+from repro.obs.context import current_tracer
+from repro.obs.tracer import Tracer
+from repro.parallel.disks import DiskArray, DiskParameters
+from repro.parallel.engine import BatchQueryResult, ParallelQueryResult
+
+__all__ = ["ProcessParallelEngine"]
+
+_EUCLIDEAN = Euclidean()
+
+#: How many queue pops a worker waits between shared-bound refreshes.
+_BOUND_REFRESH_POPS = 8
+
+#: Seconds the coordinator waits for a worker reply before giving up.
+_REPLY_TIMEOUT_S = 120.0
+
+_CandidateItems = List[Tuple[float, int, np.ndarray]]
+
+
+def _merge_shared(view: np.ndarray, k: int, keys: np.ndarray) -> None:
+    """Fold candidate keys into the shared top-k array (lock held).
+
+    Each real candidate distance enters the shared array at most once
+    per query (a worker scores every page exactly once), so the k-th
+    shared value is always >= the true global k-th distance ``B*`` —
+    the monotone-safety invariant the pruning relies on.
+    """
+    merged = np.sort(np.concatenate((view[:k], keys)))[:k]
+    view[:k] = merged
+
+
+def _worker_query(
+    store: Any,
+    disk: int,
+    query: np.ndarray,
+    k: int,
+    vectorized: bool,
+    view: np.ndarray,
+    lock: Any,
+) -> Tuple[_CandidateItems, int]:
+    """One kNN query on one disk's worker: own-disk pages only.
+
+    Returns the worker's local top-k candidates (squared keys) and the
+    number of pages it actually faulted in (its speculative read count).
+    """
+    tree = store.tree
+    candidates = _CandidateSet(k)
+    faults = 0
+    if tree.size == 0:
+        return [], 0
+    with lock:
+        shared_bound = float(view[k - 1])
+    stats = SearchStats()
+    tiebreak = itertools.count()
+    heap: List[Tuple[float, int, Node]] = [(0.0, next(tiebreak), tree.root)]
+    pops = 0
+    while heap:
+        mindist, _, node = heapq.heappop(heap)
+        pops += 1
+        if pops % _BOUND_REFRESH_POPS == 0:
+            with lock:
+                shared_bound = float(view[k - 1])
+        bound = min(candidates.bound, shared_bound)
+        if mindist > bound:
+            break
+        if node.is_leaf:
+            points, oids = store.read_page(node)
+            faults += node.blocks
+            if len(oids):
+                if vectorized:
+                    kernels.offer_payload(
+                        candidates, points, oids, query, stats
+                    )
+                    keys = _EUCLIDEAN.point_keys(points, query)
+                else:
+                    keys = _EUCLIDEAN.point_keys(points, query)
+                    for index in range(len(oids)):
+                        candidates.offer(
+                            float(keys[index]), int(oids[index]),
+                            points[index],
+                        )
+                publishable = np.sort(keys)[:k]
+                if publishable[0] < shared_bound:
+                    with lock:
+                        _merge_shared(view, k, publishable)
+                        shared_bound = float(view[k - 1])
+        else:
+            if vectorized:
+                child_keys = kernels.child_mindists(node, query)
+            else:
+                child_keys = np.array(
+                    [child.mbr.mindist(query) for child in node.entries]
+                )
+            for index in np.nonzero(child_keys <= bound)[0]:
+                child = node.entries[index]
+                if child.is_leaf and store.disk_of(child) != disk:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (float(child_keys[index]), next(tiebreak), child),
+                )
+    return candidates.items(), faults
+
+
+def _worker_main(
+    directory: str,
+    disk: int,
+    max_k: int,
+    tasks: Any,
+    replies: Any,
+    shared: Any,
+    lock: Any,
+) -> None:
+    """Worker process entry point (spawn-safe, module level).
+
+    Opens its own :class:`MmapStore` handle over ``directory`` — each
+    worker maps only its own disk's page file on first read — then
+    serves ``(query_id, query, k, vectorized)`` tasks until it receives
+    ``None``.
+    """
+    from repro.storage.mmap_store import MmapStore
+
+    store = MmapStore(directory)
+    view = np.frombuffer(shared, dtype=np.float64)
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                break
+            query_id, query, k, vectorized = task
+            items, faults = _worker_query(
+                store, disk, query, k, vectorized, view, lock
+            )
+            replies.put((query_id, disk, items, faults))
+    finally:
+        store.close()
+
+
+class ProcessParallelEngine:
+    """Per-disk worker processes over an :class:`MmapStore`.
+
+    Parameters
+    ----------
+    store:
+        An out-of-core store (must expose ``directory`` and
+        ``read_page`` — i.e. an
+        :class:`~repro.storage.mmap_store.MmapStore`); workers reopen
+        it from its directory path.
+    parameters:
+        Disk service-time model for the simulated ``parallel_time_ms``
+        (page *counts* are exact; times are derived, as everywhere).
+    cache:
+        Must be ``None``: the OS page cache serves warm mmap reads, and
+        simulated buffer-pool semantics belong to the in-process
+        engines.
+    max_k:
+        Capacity of the shared bound array; queries may use any
+        ``k <= max_k``.
+    start_method:
+        ``multiprocessing`` start method; the default ``"spawn"`` is
+        safe everywhere (workers re-import, nothing is forked mid-state).
+
+    Workers start lazily on the first query and persist across queries
+    (and across a whole ``query_batch``) until :meth:`close`; the engine
+    is a context manager.  Queries are answered one at a time, each
+    fanned out to every disk in parallel — the paper's execution model.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        parameters: Optional[DiskParameters] = None,
+        cache: None = None,
+        tracer: Optional[Tracer] = None,
+        use_kernels: Optional[bool] = None,
+        max_k: int = 64,
+        start_method: str = "spawn",
+    ):
+        if getattr(store, "read_page", None) is None or not hasattr(
+            store, "directory"
+        ):
+            raise TypeError(
+                "ProcessParallelEngine requires an out-of-core store "
+                "(repro.storage.MmapStore); build one with "
+                "save_mmap_store or bulk_load_mmap"
+            )
+        if cache is not None:
+            raise ValueError(
+                "ProcessParallelEngine is cacheless: warm mmap reads are "
+                "served by the OS page cache; use PagedEngine for "
+                "simulated buffer-pool semantics"
+            )
+        if max_k < 1:
+            raise ValueError(f"max_k must be >= 1, got {max_k}")
+        self.store = store
+        self.parameters = parameters or DiskParameters(
+            page_bytes=store.page_bytes
+        )
+        self.cache = None
+        self.tracer = tracer
+        self.use_kernels = use_kernels
+        self.max_k = max_k
+        self._start_method = start_method
+        self._ctx = multiprocessing.get_context(start_method)
+        self._procs: List[Any] = []
+        self._tasks: List[Any] = []
+        self._replies: Optional[Any] = None
+        self._shared: Optional[Any] = None
+        self._lock: Optional[Any] = None
+        self._query_ids = itertools.count()
+        #: Pages speculatively faulted by the workers on the last query
+        #: (diagnostic only — always >= the charged count, varies run
+        #: to run; the charged counts do not).
+        self.last_speculative_pages = 0
+
+    # --------------------------------------------------------- lifecycle
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        ctx = self._ctx
+        self._shared = ctx.Array("d", self.max_k, lock=False)
+        self._lock = ctx.Lock()
+        self._replies = ctx.Queue()
+        self._tasks = []
+        self._procs = []
+        directory = os.fspath(self.store.directory)
+        for disk in range(self.store.num_disks):
+            tasks = ctx.Queue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    directory, disk, self.max_k, tasks, self._replies,
+                    self._shared, self._lock,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._tasks.append(tasks)
+            self._procs.append(proc)
+
+    def close(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        for tasks in self._tasks:
+            try:
+                tasks.put(None)
+            except (ValueError, OSError):  # pragma: no cover - teardown
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for tasks in self._tasks:
+            tasks.close()
+        if self._replies is not None:
+            self._replies.close()
+        self._procs = []
+        self._tasks = []
+        self._replies = None
+        self._shared = None
+        self._lock = None
+
+    def __enter__(self) -> "ProcessParallelEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            if self._procs:
+                self.close()
+        except (OSError, ValueError, RuntimeError, AttributeError):
+            # Interpreter teardown: queues/processes may already be gone.
+            pass
+
+    # ----------------------------------------------------------- queries
+
+    def _active_tracer(self) -> Tracer:
+        """This engine's tracer, else the ambient one, else the null
+        tracer."""
+        return self.tracer if self.tracer is not None else current_tracer()
+
+    def _exact_counts(
+        self, query: np.ndarray, bound: float, vectorized: bool
+    ) -> Tuple[np.ndarray, int]:
+        """Per-disk pages + distance computations of the charged set.
+
+        Filters the RAM directory for data pages with
+        ``mindist <= bound`` (ties included — the single-process engine
+        reads them too, since its break condition is strictly greater).
+        Entry counts come from the store's slot table, so no payload is
+        touched.
+        """
+        store = self.store
+        counts = np.zeros(store.num_disks, dtype=np.int64)
+        computations = 0
+        tree = store.tree
+        if tree.size == 0:
+            return counts, 0
+        stack: List[Node] = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                counts[store.disk_of(node)] += node.blocks
+                computations += store.entry_count(node)
+                continue
+            if vectorized:
+                child_keys = kernels.child_mindists(node, query)
+                for index in np.nonzero(child_keys <= bound)[0]:
+                    stack.append(node.entries[index])
+            else:
+                for child in node.entries:
+                    if child.mbr.mindist(query) <= bound:
+                        stack.append(child)
+        return counts, computations
+
+    def query(
+        self, query: Sequence[float], k: int = 1
+    ) -> ParallelQueryResult:
+        """Run one kNN query across all disk workers in parallel.
+
+        Under an enabled tracer this emits a ``query_start`` ...
+        ``query_end`` span with one aggregate ``page_read`` per disk
+        (the exact charged counts — per-page event order inside a
+        worker is not deterministic and is not traced).
+        """
+        if k > self.max_k:
+            raise ValueError(
+                f"k={k} exceeds this engine's max_k={self.max_k}; "
+                f"construct the engine with a larger max_k"
+            )
+        query = np.asarray(query, dtype=float)
+        vectorized = kernels.kernels_enabled(self.use_kernels)
+        tracer = self._active_tracer()
+        traced = tracer.enabled
+        span = -1
+        if traced:
+            span = tracer.begin_query(
+                "process", k=k, num_disks=self.store.num_disks,
+                service_ms=self.parameters.page_service_time_ms,
+            )
+        if self.store.tree.size == 0:
+            if traced:
+                tracer.end_query(span)
+            return ParallelQueryResult(
+                [],
+                np.zeros(self.store.num_disks, dtype=np.int64),
+                0.0,
+                0,
+                cache_stats=None,
+            )
+        self._ensure_workers()
+        assert self._shared is not None and self._lock is not None
+        bound_view = np.frombuffer(self._shared, dtype=np.float64)
+        with self._lock:
+            bound_view[:] = np.inf
+        query_id = next(self._query_ids)
+        for tasks in self._tasks:
+            tasks.put((query_id, query, k, vectorized))
+
+        items: _CandidateItems = []
+        speculative = 0
+        assert self._replies is not None
+        for _ in range(self.store.num_disks):
+            try:
+                reply = self._replies.get(timeout=_REPLY_TIMEOUT_S)
+            except queue_module.Empty:
+                self.close()
+                raise RuntimeError(
+                    "a disk worker did not reply; the worker process "
+                    "likely died (see stderr)"
+                ) from None
+            reply_id, disk, worker_items, faults = reply
+            if reply_id != query_id:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"out-of-order worker reply: query {reply_id} "
+                    f"while waiting for {query_id}"
+                )
+            items.extend(worker_items)
+            speculative += faults
+        self.last_speculative_pages = speculative
+
+        # Deterministic merge: squared keys, (key, oid) order.
+        merged = _CandidateSet(k)
+        for key, oid, point in sorted(
+            items, key=lambda item: (item[0], item[1])
+        ):
+            merged.offer(key, oid, point)
+        counts, computations = self._exact_counts(
+            query, merged.bound, vectorized
+        )
+        disks = DiskArray.from_counts(counts, self.parameters)
+        if traced:
+            for disk in range(self.store.num_disks):
+                if counts[disk]:
+                    tracer.page_read(span, disk, int(counts[disk]))
+            tracer.end_query(
+                span, time_ms=disks.parallel_time_ms,
+                distance_computations=computations,
+            )
+        return ParallelQueryResult(
+            neighbors=merged.neighbors(),
+            pages_per_disk=disks.pages_per_disk,
+            parallel_time_ms=disks.parallel_time_ms,
+            distance_computations=computations,
+            cache_stats=None,
+        )
+
+    def query_batch(
+        self, queries: np.ndarray, k: int = 1
+    ) -> BatchQueryResult:
+        """Run a batch of queries over the persistent worker pool.
+
+        Queries execute one at a time, each parallel across disks (the
+        paper's model); the workers — and their warm page mappings —
+        persist across the whole batch.
+        """
+        queries = np.asarray(queries, dtype=float)
+        if queries.size == 0:
+            return BatchQueryResult([], self.store.num_disks)
+        queries = np.atleast_2d(queries)
+        return BatchQueryResult(
+            [self.query(query, k) for query in queries],
+            self.store.num_disks,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._procs else "idle"
+        return (
+            f"ProcessParallelEngine(disks={self.store.num_disks}, "
+            f"workers={state}, max_k={self.max_k})"
+        )

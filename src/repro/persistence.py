@@ -13,13 +13,20 @@ Format: flat numpy arrays (one element per node / per point) plus a JSON
 header with the tree's scalar parameters.  Nodes are numbered in
 depth-first pre-order; MBRs are recomputed on load (they are derived
 state).
+
+Store-level metadata (disk count, declustering scheme name, cache
+config) travels in the same JSON header under an explicit
+``store_format_version`` field; loading a file written by a different
+revision raises :class:`StoreFormatError` instead of misreading it.
+The out-of-core variant (:mod:`repro.storage`) shares this header codec
+so ``save_paged_store``/``save_mmap_store`` round-trip identically.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,9 +42,18 @@ __all__ = [
     "save_paged_store",
     "load_paged_store",
     "FrozenAssignment",
+    "StoreFormatError",
 ]
 
 _FORMAT_VERSION = 1
+
+#: Revision of the store-level header (disk count, scheme, cache).
+_STORE_FORMAT_VERSION = 1
+
+
+class StoreFormatError(ValueError):
+    """A persisted tree/store file is from an incompatible format
+    revision."""
 
 
 def _flatten(tree: RStarTree):
@@ -118,12 +134,26 @@ def save_tree(tree: RStarTree, path: Union[str, os.PathLike]) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def _rebuild_tree(data) -> RStarTree:
-    header = json.loads(str(data["header"]))
-    if header["format_version"] != _FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported format version {header['format_version']}"
+def _check_tree_version(header: dict) -> None:
+    """Fail fast (and clearly) on a tree file from another revision."""
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StoreFormatError(
+            f"tree file uses format version {version!r}; this build reads "
+            f"version {_FORMAT_VERSION} — regenerate the file with the "
+            f"current code"
         )
+
+
+def _rebuild_skeleton(data, header: dict) -> Tuple[RStarTree, List[Node]]:
+    """Rebuild the node topology (no leaf entries, no MBRs) from arrays.
+
+    Shared by :func:`_rebuild_tree` (which then attaches the points and
+    recomputes MBRs) and the out-of-core loader in
+    :mod:`repro.storage.mmap_store` (which restores leaf MBRs from
+    explicit bound arrays instead — its leaves own no entries).
+    Returns the empty tree shell plus the nodes in pre-order.
+    """
     common = dict(
         page_bytes=header["page_bytes"],
         leaf_cap=header["leaf_cap"],
@@ -147,9 +177,6 @@ def _rebuild_tree(data) -> RStarTree:
     node_blocks = data["node_blocks"]
     first_child = data["first_child"]
     child_count = data["child_count"]
-    points = data["points"]
-    oids = data["oids"]
-    point_leaf = data["point_leaf"]
 
     nodes = [
         Node(is_leaf=bool(is_leaf), blocks=int(blocks))
@@ -170,11 +197,21 @@ def _rebuild_tree(data) -> RStarTree:
             nodes[node_id].entries.append(nodes[child])
             subtree_size[node_id] += subtree_size[child]
             child += int(subtree_size[child])
+    tree.root = nodes[0]
+    return tree, nodes
+
+
+def _rebuild_tree(data) -> RStarTree:
+    header = json.loads(str(data["header"]))
+    _check_tree_version(header)
+    tree, nodes = _rebuild_skeleton(data, header)
+    points = data["points"]
+    oids = data["oids"]
+    point_leaf = data["point_leaf"]
     for point, oid, leaf_id in zip(points, oids, point_leaf):
         nodes[int(leaf_id)].entries.append(LeafEntry(point, int(oid)))
     for node in reversed(nodes):  # children before parents in pre-order
         node.recompute_mbr()
-    tree.root = nodes[0]
     tree.size = len(points)
     return tree
 
@@ -186,12 +223,16 @@ def load_tree(path: Union[str, os.PathLike]) -> RStarTree:
 
 
 class FrozenAssignment:
-    """A page-to-disk map restored from disk (a fixed table, not code)."""
+    """A page-to-disk map restored from disk (a fixed table, not code).
 
-    name = "frozen"
+    ``name`` preserves the declustering scheme the table was produced
+    with (round-tripped through the store header), so reports and
+    ``--scheme``-keyed tooling keep working on reloaded stores.
+    """
 
-    def __init__(self, page_disks: np.ndarray):
+    def __init__(self, page_disks: np.ndarray, name: str = "frozen"):
         self.page_disks = np.asarray(page_disks, dtype=np.int64)
+        self.name = name
 
     def __call__(self, centers: np.ndarray) -> np.ndarray:
         if len(centers) != len(self.page_disks):
@@ -202,20 +243,61 @@ class FrozenAssignment:
         return self.page_disks.copy()
 
 
+def _encode_cache(config: Optional[CacheConfig]) -> Optional[Dict]:
+    """Cache config as plain JSON (no pickling) for the store header."""
+    if config is None:
+        return None
+    return {
+        "capacity_pages": config.capacity_pages,
+        "capacity_bytes": config.capacity_bytes,
+        "policy": config.policy,
+    }
+
+
+def _decode_cache(data: Optional[Dict]) -> Optional[CacheConfig]:
+    """Inverse of :func:`_encode_cache`."""
+    if data is None:
+        return None
+    return CacheConfig(
+        capacity_pages=data["capacity_pages"],
+        capacity_bytes=data["capacity_bytes"],
+        policy=data["policy"],
+    )
+
+
+def _store_header(store: PagedStore) -> Dict:
+    """Tree header plus the store-level fields every store format
+    shares: disk count, declustering scheme name, and cache config."""
+    header = _tree_header(store.tree)
+    header["store_format_version"] = _STORE_FORMAT_VERSION
+    header["num_disks"] = store.num_disks
+    header["scheme"] = getattr(store.declusterer, "name", "custom")
+    header["cache"] = _encode_cache(store.cache_config)
+    return header
+
+
+def _check_store_version(header: Dict, source: str) -> None:
+    """Fail fast (and clearly) on a store header from another revision."""
+    version = header.get("store_format_version")
+    if version != _STORE_FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{source} uses store format version {version!r}; this build "
+            f"reads version {_STORE_FORMAT_VERSION} — regenerate the "
+            f"store with the current code"
+        )
+
+
 def save_paged_store(
     store: PagedStore, path: Union[str, os.PathLike]
 ) -> None:
-    """Serialize a PagedStore (tree + page-to-disk map + cache config)."""
+    """Serialize a PagedStore (tree + page map + scheme + cache config).
+
+    The scheme name and cache config ride in the JSON store header (see
+    :func:`_store_header`) — plain data, no pickled kwargs — under an
+    explicit ``store_format_version`` field.
+    """
     arrays = _flatten(store.tree)
-    header = _tree_header(store.tree)
-    header["num_disks"] = store.num_disks
-    if store.cache_config is not None:
-        header["cache"] = {
-            "capacity_pages": store.cache_config.capacity_pages,
-            "capacity_bytes": store.cache_config.capacity_bytes,
-            "policy": store.cache_config.policy,
-        }
-    arrays["header"] = np.array(json.dumps(header))
+    arrays["header"] = np.array(json.dumps(_store_header(store)))
     arrays["page_disks"] = np.asarray(store.page_disks, dtype=np.int64)
     np.savez_compressed(path, **arrays)
 
@@ -224,25 +306,22 @@ def load_paged_store(path: Union[str, os.PathLike]) -> PagedStore:
     """Load a PagedStore written by :func:`save_paged_store`.
 
     The page-to-disk assignment is restored as a
-    :class:`FrozenAssignment`; to re-decluster after structural updates,
-    build a fresh :class:`~repro.parallel.paged.PagedStore` with a real
-    declusterer.
+    :class:`FrozenAssignment` carrying the original scheme name; to
+    re-decluster after structural updates, build a fresh
+    :class:`~repro.parallel.paged.PagedStore` with a real declusterer.
+    Raises :class:`StoreFormatError` on a format-version mismatch.
     """
     with np.load(path, allow_pickle=False) as data:
-        tree = _rebuild_tree(data)
         header = json.loads(str(data["header"]))
+        _check_store_version(header, f"paged store {os.fspath(path)!r}")
+        tree = _rebuild_tree(data)
         page_disks = data["page_disks"]
-        cache_config = None
-        if "cache" in header:
-            cache_config = CacheConfig(
-                capacity_pages=header["cache"]["capacity_pages"],
-                capacity_bytes=header["cache"]["capacity_bytes"],
-                policy=header["cache"]["policy"],
-            )
         return PagedStore(
             tree=tree,
-            declusterer=FrozenAssignment(page_disks),
+            declusterer=FrozenAssignment(
+                page_disks, name=header.get("scheme", "frozen")
+            ),
             num_disks=int(header["num_disks"]),
             page_bytes=header["page_bytes"],
-            cache_config=cache_config,
+            cache_config=_decode_cache(header.get("cache")),
         )

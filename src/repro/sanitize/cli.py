@@ -8,7 +8,12 @@ layers:
   query results and per-disk counters must be identical under the
   simulator's native order and two permuted tie-break seeds; the
   matrix replays the serving layer's virtual-time planner
-  (:func:`build_serve_replay_case`) alongside the raw simulators;
+  (:func:`build_serve_replay_case`) alongside the raw simulators, and
+  one out-of-core cell (:func:`build_process_replay_case`) pits the
+  per-disk worker processes of
+  :class:`~repro.parallel.process.ProcessParallelEngine` — a genuine
+  scheduling race, not a seeded permutation — against the
+  single-process reference over the same mmap store;
 * event-stream happens-before checks (:mod:`repro.sanitize.stream`)
   over a traced run, including the trace/report counter oracle;
 * the virtual-clock invariant — after a served run the driving
@@ -63,6 +68,7 @@ __all__ = [
     "SMOKE_SCHEMES",
     "SMOKE_ENGINES",
     "build_replay_case",
+    "build_process_replay_case",
     "build_serve_replay_case",
     "smoke_matrix",
     "build_parser",
@@ -145,6 +151,79 @@ def build_replay_case(
         return summarize_report(report)
 
     return ReplayCase(name=f"{scheme}/{engine}", run=run)
+
+
+def build_process_replay_case(
+    scheme: str,
+    num_points: int = 300,
+    num_queries: int = 24,
+    dimension: int = 6,
+    num_disks: int = 4,
+    k: int = 5,
+    data_seed: int = 7,
+    directory: Optional[str] = None,
+) -> ReplayCase:
+    """The process-parallel engine as a :class:`ReplayCase`.
+
+    Seed ``None`` runs the single-process reference:
+    :class:`~repro.parallel.paged.PagedEngine` over the out-of-core
+    :class:`~repro.storage.mmap_store.MmapStore`.  Any other seed starts
+    a fresh per-disk worker fleet
+    (:class:`~repro.parallel.process.ProcessParallelEngine`) over the
+    same store — the "permutation" here is a genuine OS scheduling race,
+    not a seeded shuffle — and the shared-pruning-bound determinism
+    contract says the results and per-disk page counts must still match
+    the reference bit for bit.
+
+    The store is written once to ``directory`` (a fresh temp directory
+    when omitted); every replay reopens it cold and cacheless.
+    """
+    import tempfile
+
+    from repro.parallel.paged import PagedEngine
+    from repro.parallel.process import ProcessParallelEngine
+    from repro.storage import MmapStore, save_mmap_store
+
+    data = _smoke_data(num_points, num_queries, dimension, data_seed)
+    declusterer = make_declusterer(
+        scheme, dimension=dimension, num_disks=num_disks
+    )
+    paged = PagedStore(points=data["points"], declusterer=declusterer)
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="repro-sanitize-mmap-")
+    save_mmap_store(paged, directory)
+    queries = data["queries"]
+
+    def run(seed: Optional[int]) -> RunSummary:
+        """Cold cacheless run over the mmap store; workers when seeded."""
+        with MmapStore(directory) as store:
+            engine: object
+            if seed is None:
+                engine = PagedEngine(store, cache=None)
+            else:
+                engine = ProcessParallelEngine(store)
+            try:
+                totals = np.zeros(num_disks, dtype=np.int64)
+                results = []
+                for query in queries:
+                    outcome = engine.query(query, k)
+                    totals += outcome.pages_per_disk
+                    results.append(
+                        tuple(
+                            (int(n.oid), float(n.distance))
+                            for n in outcome.neighbors
+                        )
+                    )
+            finally:
+                closer = getattr(engine, "close", None)
+                if closer is not None:
+                    closer()
+        return RunSummary(
+            results=tuple(results),
+            pages_per_disk=tuple(int(total) for total in totals),
+        )
+
+    return ReplayCase(name=f"{scheme}/process", run=run)
 
 
 def _serve_spec(scheme: str, case_kwargs: Dict[str, int]) -> WorkloadSpec:
@@ -292,7 +371,11 @@ def smoke_matrix(
     ``seeds``; each scheme additionally gets one traced event run for
     the stream/oracle checks, one serve-layer replay cell
     (:func:`build_serve_replay_case`), and the virtual-clock invariant
-    check; the whole matrix runs inside the global RNG guard.
+    check; the whole matrix runs inside the global RNG guard.  The
+    first scheme also gets one out-of-core cell
+    (:func:`build_process_replay_case`): the per-disk worker fleet must
+    reproduce the single-process reference exactly (one cell, capped at
+    4 disks, because each replay spawns real worker processes).
     """
     findings: List[Finding] = []
     with global_rng_guard("sanitize://matrix") as rng_findings:
@@ -308,6 +391,15 @@ def smoke_matrix(
             findings.extend(
                 _virtual_clock_findings(scheme, dict(case_kwargs))
             )
+        if schemes:
+            process_kwargs = dict(case_kwargs)
+            process_kwargs["num_disks"] = min(
+                4, process_kwargs.get("num_disks", 4)
+            )
+            process_case = build_process_replay_case(
+                schemes[0], **process_kwargs
+            )
+            findings.extend(replay_check(process_case, seeds=seeds))
     findings.extend(rng_findings)
     return sorted(findings)
 

@@ -1,0 +1,43 @@
+"""Out-of-core page storage: per-disk mmap page files + MmapStore.
+
+The storage layer moves data-page payloads out of process memory into
+one memory-mapped file per simulated disk, while the tree directory
+stays RAM-resident (the paper's shared-directory model).  See
+``docs/storage.md`` for the file format and the charging contract.
+"""
+
+from __future__ import annotations
+
+from repro.storage.bulk import bulk_load_mmap
+from repro.storage.mmap_store import (
+    SIMULATED_DISK_MS_ENV,
+    MmapStore,
+    load_mmap_store,
+    save_mmap_store,
+)
+from repro.storage.pagefile import (
+    HEADER_BYTES,
+    PAGEFILE_FORMAT_VERSION,
+    PAGEFILE_MAGIC,
+    PageFile,
+    PageFileWriter,
+    PageFormatError,
+    SlotOverflowError,
+    payload_bytes,
+)
+
+__all__ = [
+    "MmapStore",
+    "save_mmap_store",
+    "load_mmap_store",
+    "bulk_load_mmap",
+    "PageFile",
+    "PageFileWriter",
+    "PageFormatError",
+    "SlotOverflowError",
+    "payload_bytes",
+    "PAGEFILE_MAGIC",
+    "PAGEFILE_FORMAT_VERSION",
+    "HEADER_BYTES",
+    "SIMULATED_DISK_MS_ENV",
+]

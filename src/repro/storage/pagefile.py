@@ -1,0 +1,321 @@
+"""Fixed-slot page files: the on-disk format of the out-of-core store.
+
+One file per simulated disk.  The layout is deliberately dumb — a small
+fixed header, a slot-count table, then ``num_slots`` fixed-size slots —
+so a reader can memory-map the file and serve any page with two
+``np.frombuffer`` views and zero parsing:
+
+.. code-block:: text
+
+    offset 0    header (64 bytes, little-endian)
+                  magic           8s   b"REPROPGF"
+                  format_version  u32  PAGEFILE_FORMAT_VERSION
+                  disk_id         u32  which simulated disk this file is
+                  page_bytes      u64  logical page size of the store
+                  slot_bytes      u64  bytes reserved per slot
+                  num_slots       u64  number of page slots
+                  dimension       u32  point dimensionality d
+                  entry_bytes     u32  8 + 8 * d (sanity check)
+                  (16 reserved zero bytes)
+    offset 64   counts table: num_slots * u32 entries per slot
+    data start  slot 0, slot 1, ... at ``slot_bytes`` stride
+                (data start is the counts-table end rounded up to 8)
+
+A slot holds one data page's payload: ``n`` object ids as little-endian
+``int64`` followed by ``n`` points as row-major ``float64`` — exactly the
+arrays the in-memory engines score, so a round trip through the file is
+bit-for-bit lossless.  Slot tail bytes beyond the payload are zero.
+
+Oversized payloads **raise** :class:`SlotOverflowError` at write time —
+a page is never silently truncated.  Readers validate the magic, the
+format version, and that the file length matches the header exactly;
+a partially written (crashed/truncated) file fails fast with
+:class:`PageFormatError` instead of returning garbage pages.  See
+``docs/storage.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from typing import IO, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.index.node import DEFAULT_PAGE_BYTES
+
+__all__ = [
+    "PAGEFILE_MAGIC",
+    "PAGEFILE_FORMAT_VERSION",
+    "HEADER_BYTES",
+    "PageFormatError",
+    "SlotOverflowError",
+    "payload_bytes",
+    "PageFileWriter",
+    "PageFile",
+]
+
+#: First eight bytes of every page file.
+PAGEFILE_MAGIC = b"REPROPGF"
+
+#: On-disk format revision; bump on any incompatible layout change.
+PAGEFILE_FORMAT_VERSION = 1
+
+#: Fixed header size in bytes.
+HEADER_BYTES = 64
+
+#: ``<`` disables alignment so the struct is exactly 64 bytes everywhere.
+_HEADER = struct.Struct("<8sIIQQQII16x")
+
+_OID_BYTES = 8
+_COORD_BYTES = 8
+
+
+class PageFormatError(ValueError):
+    """A page file is missing, corrupt, truncated, or from another
+    format version."""
+
+
+class SlotOverflowError(PageFormatError):
+    """A page payload does not fit its fixed-size slot (never truncate)."""
+
+
+def payload_bytes(num_entries: int, dimension: int) -> int:
+    """Bytes needed to store ``num_entries`` (oid, point) pairs."""
+    return num_entries * (_OID_BYTES + _COORD_BYTES * dimension)
+
+
+def _counts_end(num_slots: int) -> int:
+    return HEADER_BYTES + 4 * num_slots
+
+
+def _data_start(num_slots: int) -> int:
+    """First slot offset: the counts table end rounded up to 8 bytes."""
+    end = _counts_end(num_slots)
+    return (end + 7) & ~7
+
+
+class PageFileWriter:
+    """Sequential creator of one disk's page file.
+
+    Pre-sizes the file on open (unwritten slots stay zero), accepts slot
+    payloads in any order via :meth:`write_slot`, and writes the
+    slot-count table on :meth:`close` — so a crash mid-write leaves a
+    file whose length is right but whose counts table is all zeros,
+    which the reader surfaces as empty pages rather than garbage.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        disk_id: int,
+        num_slots: int,
+        slot_bytes: int,
+        dimension: int,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ):
+        if num_slots < 0:
+            raise ValueError(f"num_slots must be >= 0, got {num_slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        self.path = os.fspath(path)
+        self.disk_id = disk_id
+        self.num_slots = num_slots
+        self.slot_bytes = slot_bytes
+        self.dimension = dimension
+        self.page_bytes = page_bytes
+        self._counts = np.zeros(num_slots, dtype=np.uint32)
+        self._start = _data_start(num_slots)
+        self._file: Optional[IO[bytes]] = open(self.path, "wb")
+        self._file.write(
+            _HEADER.pack(
+                PAGEFILE_MAGIC,
+                PAGEFILE_FORMAT_VERSION,
+                disk_id,
+                page_bytes,
+                slot_bytes,
+                num_slots,
+                dimension,
+                _OID_BYTES + _COORD_BYTES * dimension,
+            )
+        )
+        self._file.truncate(self._start + num_slots * slot_bytes)
+
+    def write_slot(
+        self, slot: int, oids: np.ndarray, points: np.ndarray
+    ) -> None:
+        """Store one page payload; raises if it exceeds the slot size."""
+        if self._file is None:
+            raise PageFormatError(f"page file {self.path!r} already closed")
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(
+                f"slot {slot} outside [0, {self.num_slots}) in {self.path!r}"
+            )
+        oids = np.ascontiguousarray(oids, dtype=np.int64)
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if oids.ndim != 1 or points.shape != (len(oids), self.dimension):
+            raise ValueError(
+                f"payload must be ({len(oids)},) oids and "
+                f"({len(oids)}, {self.dimension}) points, got points shape "
+                f"{points.shape}"
+            )
+        need = payload_bytes(len(oids), self.dimension)
+        if need > self.slot_bytes:
+            raise SlotOverflowError(
+                f"page payload of {len(oids)} entries needs {need} bytes "
+                f"but slots in {self.path!r} hold {self.slot_bytes}; "
+                f"rebuild the store with a larger slot_bytes"
+            )
+        self._file.seek(self._start + slot * self.slot_bytes)
+        self._file.write(oids.tobytes())
+        self._file.write(points.tobytes())
+        self._counts[slot] = len(oids)
+
+    def close(self) -> None:
+        """Flush the slot-count table and close the file."""
+        if self._file is None:
+            return
+        self._file.seek(HEADER_BYTES)
+        self._file.write(self._counts.tobytes())
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "PageFileWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class PageFile:
+    """Read-only memory-mapped view of one disk's page file.
+
+    Multiple ``PageFile`` handles — in the same process or in per-disk
+    worker processes — may map the same file concurrently; the mapping
+    is read-only and the file is immutable once written.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        try:
+            self._file: Optional[IO[bytes]] = open(self.path, "rb")
+        except FileNotFoundError as error:
+            raise PageFormatError(
+                f"page file {self.path!r} does not exist"
+            ) from error
+        size = os.fstat(self._file.fileno()).st_size
+        if size < HEADER_BYTES:
+            self._file.close()
+            raise PageFormatError(
+                f"{self.path!r} is {size} bytes — too short for a page "
+                f"file header ({HEADER_BYTES} bytes); truncated?"
+            )
+        header = self._file.read(HEADER_BYTES)
+        (
+            magic,
+            version,
+            self.disk_id,
+            self.page_bytes,
+            self.slot_bytes,
+            self.num_slots,
+            self.dimension,
+            entry_bytes,
+        ) = _HEADER.unpack(header)
+        if magic != PAGEFILE_MAGIC:
+            self._file.close()
+            raise PageFormatError(
+                f"{self.path!r} is not a repro page file "
+                f"(magic {magic!r}, expected {PAGEFILE_MAGIC!r})"
+            )
+        if version != PAGEFILE_FORMAT_VERSION:
+            self._file.close()
+            raise PageFormatError(
+                f"{self.path!r} uses page-file format version {version}; "
+                f"this build reads version {PAGEFILE_FORMAT_VERSION} — "
+                f"rebuild the store with the current code"
+            )
+        if entry_bytes != _OID_BYTES + _COORD_BYTES * self.dimension:
+            self._file.close()
+            raise PageFormatError(
+                f"{self.path!r} header is inconsistent: entry_bytes "
+                f"{entry_bytes} != 8 + 8 * dimension ({self.dimension})"
+            )
+        self._start = _data_start(self.num_slots)
+        expected = self._start + self.num_slots * self.slot_bytes
+        if size != expected:
+            self._file.close()
+            raise PageFormatError(
+                f"{self.path!r} is {size} bytes but the header promises "
+                f"{expected} ({self.num_slots} slots x {self.slot_bytes} "
+                f"bytes); the file is truncated or corrupt"
+            )
+        self._mmap: Optional[mmap.mmap] = mmap.mmap(
+            self._file.fileno(), 0, access=mmap.ACCESS_READ
+        )
+        self._counts = np.frombuffer(
+            self._mmap, dtype=np.uint32, count=self.num_slots,
+            offset=HEADER_BYTES,
+        )
+        limit = self.slot_bytes // (_OID_BYTES + _COORD_BYTES * self.dimension)
+        if self.num_slots and int(self._counts.max(initial=0)) > limit:
+            self.close()
+            raise PageFormatError(
+                f"{self.path!r} count table claims a slot with "
+                f"more entries than fit {self.slot_bytes} slot bytes"
+            )
+
+    def entry_count(self, slot: int) -> int:
+        """Entries stored in a slot — read from the table, no page touch."""
+        return int(self._counts[slot])
+
+    def read_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One page payload as ``(points, oids)`` arrays (owned copies).
+
+        The copy decouples returned results from the mapping's lifetime
+        (a neighbor list must survive :meth:`close`); the mmap page
+        fault — the simulated disk read — happens here either way.
+        """
+        if self._mmap is None:
+            raise PageFormatError(f"page file {self.path!r} already closed")
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(
+                f"slot {slot} outside [0, {self.num_slots}) in {self.path!r}"
+            )
+        count = int(self._counts[slot])
+        offset = self._start + slot * self.slot_bytes
+        oids = np.frombuffer(
+            self._mmap, dtype=np.int64, count=count, offset=offset
+        ).copy()
+        points = np.frombuffer(
+            self._mmap,
+            dtype=np.float64,
+            count=count * self.dimension,
+            offset=offset + _OID_BYTES * count,
+        ).reshape(count, self.dimension).copy()
+        return points, oids
+
+    def close(self) -> None:
+        """Drop the mapping and close the file handle."""
+        self._counts = np.zeros(0, dtype=np.uint32)
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PageFile({self.path!r}, disk={self.disk_id}, "
+            f"slots={self.num_slots}, slot_bytes={self.slot_bytes})"
+        )

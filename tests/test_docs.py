@@ -17,6 +17,7 @@ sys.path.insert(0, str(REPO_ROOT / "scripts"))
 from check_markdown_links import (  # noqa: E402
     default_files,
     find_broken_links,
+    find_orphaned_docs,
     main,
 )
 import check_result_tables  # noqa: E402
@@ -32,7 +33,75 @@ class TestRepoDocs:
     def test_docs_set_includes_the_core_documents(self):
         names = {path.name for path in default_files(REPO_ROOT)}
         assert {"README.md", "DESIGN.md", "observability.md",
-                "linting.md"} <= names
+                "linting.md", "storage.md", "architecture.md"} <= names
+
+    def test_no_orphaned_docs_pages(self):
+        """Every docs page is reachable from README.md or the
+        architecture overview."""
+        orphans = find_orphaned_docs(REPO_ROOT)
+        assert orphans == [], [str(path) for path in orphans]
+
+    def test_architecture_mentions_every_subpackage(self):
+        """The layer map stays complete as subpackages are added."""
+        text = (REPO_ROOT / "docs" / "architecture.md").read_text(
+            encoding="utf-8"
+        )
+        packages = sorted(
+            path.parent.name
+            for path in (REPO_ROOT / "src" / "repro").glob(
+                "*/__init__.py"
+            )
+        )
+        assert packages, "expected src/repro subpackages"
+        missing = [
+            name for name in packages if f"repro.{name}" not in text
+        ]
+        assert missing == [], (
+            f"docs/architecture.md does not mention {missing}"
+        )
+
+    def test_reproduction_guide_worked_example(self):
+        """The guide's quickstart transcript actually runs (doctest)."""
+        import doctest
+
+        failures, tests = doctest.testfile(
+            str(REPO_ROOT / "docs" / "reproduction_guide.md"),
+            module_relative=False,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        assert tests > 0, "expected >>> examples in the guide"
+        assert failures == 0
+
+
+class TestOrphanDetection:
+    def _repo(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[a](docs/a.md) [arch](docs/architecture.md)\n"
+        )
+        (tmp_path / "docs" / "architecture.md").write_text(
+            "[b](b.md)\n"
+        )
+        (tmp_path / "docs" / "a.md").write_text("# a\n")
+        (tmp_path / "docs" / "b.md").write_text("# b\n")
+        return tmp_path
+
+    def test_unlinked_page_is_reported(self, tmp_path):
+        root = self._repo(tmp_path)
+        (root / "docs" / "lost.md").write_text("# lost\n")
+        assert find_orphaned_docs(root) == [root / "docs" / "lost.md"]
+
+    def test_pages_linked_from_either_entry_point_pass(self, tmp_path):
+        assert find_orphaned_docs(self._repo(tmp_path)) == []
+
+    def test_entry_points_are_exempt(self, tmp_path):
+        root = self._repo(tmp_path)
+        (root / "README.md").write_text("no links here\n")
+        orphans = find_orphaned_docs(root)
+        assert root / "docs" / "architecture.md" not in orphans
+        # a.md lost its only inbound link; b.md is still reachable
+        # from the architecture page.
+        assert orphans == [root / "docs" / "a.md"]
 
 
 class TestFindBrokenLinks:

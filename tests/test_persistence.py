@@ -12,6 +12,7 @@ from repro.parallel.cache import CacheConfig
 from repro.parallel.paged import PagedEngine, PagedStore
 from repro.persistence import (
     FrozenAssignment,
+    StoreFormatError,
     load_paged_store,
     load_tree,
     save_paged_store,
@@ -176,6 +177,98 @@ class TestPagedStoreRoundTrip:
         restored = load_paged_store(path)
         assert restored.cache_config is None
         assert PagedEngine(restored).cache is None
+
+    def test_scheme_name_round_trips(self, small_uniform, tmp_path):
+        """The declustering scheme name survives through the store
+        header, so ``--scheme``-keyed tooling works on reloaded
+        stores."""
+        store = PagedStore(
+            points=small_uniform,
+            declusterer=NearOptimalDeclusterer(6, 8),
+        )
+        path = tmp_path / "named_store.npz"
+        save_paged_store(store, path)
+        restored = load_paged_store(path)
+        assert restored.scheme == store.scheme
+        assert restored.declusterer.name == store.declusterer.name
+        # And it survives a second generation (save the reloaded store).
+        again = tmp_path / "named_store_2.npz"
+        save_paged_store(restored, again)
+        assert load_paged_store(again).scheme == store.scheme
+
+
+class TestStoreFormatVersion:
+    """Explicit format-version field and clear mismatch errors."""
+
+    def _saved(self, small_uniform, tmp_path, name="versioned.npz"):
+        store = PagedStore(
+            points=small_uniform,
+            declusterer=NearOptimalDeclusterer(6, 4),
+        )
+        path = tmp_path / name
+        save_paged_store(store, path)
+        return path
+
+    @staticmethod
+    def _rewrite_header(path, mutate):
+        """Round-trip the npz, applying ``mutate`` to the JSON header."""
+        import json
+
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        header = json.loads(str(arrays["header"]))
+        mutate(header)
+        arrays["header"] = np.array(json.dumps(header))
+        np.savez_compressed(path, **arrays)
+
+    def test_header_declares_store_format_version(
+        self, small_uniform, tmp_path
+    ):
+        import json
+
+        path = self._saved(small_uniform, tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(str(data["header"]))
+        assert header["store_format_version"] == 1
+        assert header["format_version"] == 1
+        assert header["scheme"] == "new"
+        assert header["cache"] is None
+
+    def test_store_version_mismatch_is_clear(
+        self, small_uniform, tmp_path
+    ):
+        path = self._saved(small_uniform, tmp_path)
+        self._rewrite_header(
+            path, lambda h: h.update(store_format_version=99)
+        )
+        with pytest.raises(StoreFormatError, match="store format version"):
+            load_paged_store(path)
+
+    def test_missing_store_version_is_rejected(
+        self, small_uniform, tmp_path
+    ):
+        """Files from before the explicit version field don't load
+        silently."""
+        path = self._saved(small_uniform, tmp_path)
+        self._rewrite_header(
+            path, lambda h: h.pop("store_format_version")
+        )
+        with pytest.raises(StoreFormatError, match="None"):
+            load_paged_store(path)
+
+    def test_tree_version_mismatch_is_clear(self, small_uniform, tmp_path):
+        path = self._saved(small_uniform, tmp_path)
+        self._rewrite_header(path, lambda h: h.update(format_version=2))
+        with pytest.raises(StoreFormatError, match="format version"):
+            load_paged_store(path)
+        # Plain trees give the same clear failure.
+        tree_path = tmp_path / "tree.npz"
+        save_tree(bulk_load(small_uniform, tree_cls=XTree), tree_path)
+        self._rewrite_header(
+            tree_path, lambda h: h.update(format_version=0)
+        )
+        with pytest.raises(StoreFormatError, match="version 1"):
+            load_tree(tree_path)
 
 
 class TestPersistencePropertyBased:

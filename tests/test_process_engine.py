@@ -1,0 +1,158 @@
+"""Tests for :class:`repro.parallel.process.ProcessParallelEngine`.
+
+The contract under test is the determinism guarantee documented in
+``docs/performance.md``: per-disk worker processes sharing a
+monotonically-tightening kNN bound return neighbors, per-disk page
+counts, distance computations, and the simulated parallel time
+**bit-for-bit identical** to the single-process
+:class:`~repro.parallel.paged.PagedEngine` — the shared bound only
+changes which pages are read *speculatively*, never which pages are
+*charged*.
+
+Worker startup is the expensive part (spawn + mmap open per disk), so
+the parity tests share one module-scoped store and engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NearOptimalDeclusterer
+from repro.parallel.cache import CacheConfig
+from repro.parallel.paged import PagedEngine, PagedStore
+from repro.parallel.process import ProcessParallelEngine
+from repro.storage import MmapStore, save_mmap_store
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    rng = np.random.default_rng(42)
+    store = PagedStore(
+        points=rng.random((600, 6)),
+        declusterer=NearOptimalDeclusterer(6, 4),
+    )
+    directory = tmp_path_factory.mktemp("process") / "store"
+    save_mmap_store(store, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def mmap_store(store_dir):
+    with MmapStore(store_dir) as store:
+        yield store
+
+
+@pytest.fixture(scope="module")
+def engine(mmap_store):
+    with ProcessParallelEngine(mmap_store) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def reference(mmap_store):
+    return PagedEngine(mmap_store, cache=None)
+
+
+def _assert_bit_identical(ours, theirs):
+    assert [(n.oid, n.distance) for n in ours.neighbors] == [
+        (n.oid, n.distance) for n in theirs.neighbors
+    ]
+    assert np.array_equal(ours.pages_per_disk, theirs.pages_per_disk)
+    assert ours.distance_computations == theirs.distance_computations
+    assert ours.parallel_time_ms == theirs.parallel_time_ms
+
+
+class TestParity:
+    def test_queries_match_in_process_engine(self, engine, reference):
+        rng = np.random.default_rng(7)
+        for k in (1, 5, 10):
+            for query in rng.random((8, 6)):
+                _assert_bit_identical(
+                    engine.query(query, k), reference.query(query, k)
+                )
+
+    def test_far_query_outside_data(self, engine, reference):
+        query = np.full(6, 9.0)
+        _assert_bit_identical(
+            engine.query(query, 3), reference.query(query, 3)
+        )
+
+    def test_scalar_kernel_parity(self, engine, reference, monkeypatch):
+        """REPRO_SCALAR_KERNELS=1 must flow through to the workers.
+
+        The vectorized flag is resolved per query in the parent and
+        shipped with each task, so flipping the environment variable
+        after the workers have spawned still takes effect.
+        """
+        monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+        rng = np.random.default_rng(13)
+        for query in rng.random((4, 6)):
+            _assert_bit_identical(
+                engine.query(query, 6), reference.query(query, 6)
+            )
+
+    def test_query_batch(self, engine, reference, rng):
+        queries = rng.random((5, 6))
+        ours = engine.query_batch(queries, k=4)
+        theirs = reference.query_batch(queries, k=4)
+        for a, b in zip(ours.results, theirs.results):
+            _assert_bit_identical(a, b)
+        assert np.array_equal(ours.pages_per_disk, theirs.pages_per_disk)
+        assert ours.max_pages == theirs.max_pages
+
+    def test_speculative_reads_never_undercount(self, engine):
+        """Workers may read extra pages under a stale bound, never
+        fewer than the charged (post-hoc exact) count."""
+        result = engine.query(np.full(6, 0.5), 5)
+        assert engine.last_speculative_pages >= result.pages_per_disk.sum()
+        assert result.pages_per_disk.sum() > 0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_reusable_api(self, mmap_store):
+        engine = ProcessParallelEngine(mmap_store)
+        first = engine.query(np.full(6, 0.25), 2)
+        assert len(first.neighbors) == 2
+        engine.close()
+        engine.close()
+
+    def test_context_manager_closes_workers(self, mmap_store):
+        with ProcessParallelEngine(mmap_store) as engine:
+            engine.query(np.full(6, 0.75), 1)
+            workers = list(engine._procs)
+            assert all(w.is_alive() for w in workers)
+        assert all(not w.is_alive() for w in workers)
+
+    def test_empty_batch(self, engine):
+        batch = engine.query_batch(np.zeros((0, 6)), k=3)
+        assert batch.results == []
+
+
+class TestArgumentValidation:
+    def test_k_beyond_max_k_raises(self, mmap_store):
+        engine = ProcessParallelEngine(mmap_store, max_k=4)
+        try:
+            with pytest.raises(ValueError, match="max_k"):
+                engine.query(np.full(6, 0.5), 5)
+        finally:
+            engine.close()
+
+    def test_cache_is_rejected(self, mmap_store):
+        with pytest.raises(ValueError, match="cacheless"):
+            ProcessParallelEngine(
+                mmap_store, cache=CacheConfig(capacity_pages=16)
+            )
+
+    def test_in_memory_store_is_rejected(self, small_uniform):
+        store = PagedStore(
+            points=small_uniform,
+            declusterer=NearOptimalDeclusterer(6, 4),
+        )
+        with pytest.raises(TypeError, match="out-of-core"):
+            ProcessParallelEngine(store)
+
+    def test_max_k_must_be_positive(self, mmap_store):
+        with pytest.raises(ValueError, match="max_k"):
+            ProcessParallelEngine(mmap_store, max_k=0)
+
+    def test_repr_names_the_store(self, engine):
+        assert "ProcessParallelEngine" in repr(engine)

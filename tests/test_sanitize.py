@@ -27,6 +27,7 @@ from repro.sanitize import (
 )
 from repro.sanitize.cli import (
     _virtual_clock_findings,
+    build_process_replay_case,
     build_serve_replay_case,
     main,
 )
@@ -353,6 +354,33 @@ class TestPytestFixture:
         with pytest.raises(AssertionError, match="unseeded-rng"):
             with determinism_sanitizer.rng_guard():
                 getattr(np.random, "random")(2)
+
+
+class TestProcessCell:
+    """The out-of-core worker-fleet cell added to the sanitizer matrix."""
+
+    def test_process_replay_case_is_clean(self, tmp_path):
+        """The per-disk worker fleet (a genuine scheduling race) must
+        reproduce the single-process reference bit for bit."""
+        case = build_process_replay_case(
+            "col", num_points=120, num_queries=6, dimension=4,
+            num_disks=2, k=3, directory=str(tmp_path / "store"),
+        )
+        assert case.name == "col/process"
+        assert replay_check(case, seeds=(None, 11)) == []
+
+    def test_reference_seed_none_is_single_process(self, tmp_path):
+        """Seed None and a worker seed summarize the same workload, so a
+        broken shared bound would surface as a divergence finding."""
+        case = build_process_replay_case(
+            "rr", num_points=120, num_queries=4, dimension=4,
+            num_disks=2, k=3, directory=str(tmp_path / "store"),
+        )
+        reference = case.run(None)
+        raced = case.run(11)
+        assert reference == raced
+        assert len(reference.results) == 4
+        assert sum(reference.pages_per_disk) > 0
 
 
 class TestServeCells:
