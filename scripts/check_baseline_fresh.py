@@ -30,20 +30,28 @@ import json
 import pathlib
 import sys
 from collections import Counter
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lint import run_lint
+from repro.lint.cli import _selected_config
 
 BASELINE_SCHEMA = "repro.lint-baseline/v1"
 
 
 def stale_entries(
-    baseline_path: pathlib.Path, paths: Sequence[str], jobs: int = 1
+    baseline_path: pathlib.Path,
+    paths: Sequence[str],
+    jobs: int = 1,
+    select: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Baseline entries whose fingerprints a fresh run never emits.
 
     Returns the raw baseline entry dicts (path/rule/message included for
-    auditability), one per stale multiset slot, in file order.
+    auditability), one per stale multiset slot, in file order.  With
+    ``select`` (comma-separated rule names and/or groups, as in the CLI
+    ``--select``), only entries recorded for the selected rules are
+    audited — a narrowed run cannot emit the rest, so auditing them
+    would report false staleness.
     """
     payload = json.loads(baseline_path.read_text())
     if payload.get("schema") != BASELINE_SCHEMA:
@@ -51,11 +59,28 @@ def stale_entries(
             f"{baseline_path}: expected schema {BASELINE_SCHEMA!r}, "
             f"got {payload.get('schema')!r}"
         )
-    emitted = Counter(
-        finding.fingerprint() for finding in run_lint(paths, jobs=jobs)
+    config = None
+    selected_rules = None
+    if select is not None:
+        config = _selected_config(select)
+        if config is None:
+            raise ValueError(
+                f"--select {select!r} names no known rule or group"
+            )
+        selected_rules = config.enabled
+    findings = (
+        run_lint(paths, jobs=jobs)
+        if config is None
+        else run_lint(paths, config, jobs=jobs)
     )
+    emitted = Counter(finding.fingerprint() for finding in findings)
     stale: List[Dict[str, Any]] = []
     for entry in payload.get("findings", []):
+        if (
+            selected_rules is not None
+            and str(entry.get("rule", "")) not in selected_rules
+        ):
+            continue
         fingerprint = str(entry["fingerprint"])
         for _ in range(int(entry.get("count", 1))):
             if emitted.get(fingerprint, 0) > 0:
@@ -83,9 +108,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--jobs", type=int, default=4, metavar="N",
         help="worker threads for the lint run (default: 4)",
     )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="audit only baseline entries for these comma-separated "
+        "rule names/groups (as in repro.lint --select)",
+    )
     args = parser.parse_args(argv)
     try:
-        stale = stale_entries(args.baseline, args.paths, jobs=args.jobs)
+        stale = stale_entries(
+            args.baseline, args.paths, jobs=args.jobs, select=args.select
+        )
     except (OSError, ValueError, KeyError) as error:
         print(f"check_baseline_fresh: {error}", file=sys.stderr)
         return 2

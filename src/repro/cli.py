@@ -209,35 +209,51 @@ def _traced_workload(args: argparse.Namespace):
         engine = ParallelEngine(
             store, cache=args.cache_pages, tracer=tracer
         )
-    else:
-        from repro.parallel.paged import PagedEngine, PagedStore
+        return tracer, _drive_queries(args, engine, queries)
+    from repro.parallel.paged import PagedStore
 
-        store = PagedStore(points, declusterer)
-        if backing == "mmap" or args.engine == "process":
-            # Spill the payloads to an out-of-core store directory; the
-            # directory stays RAM-resident, pages are served via mmap.
-            import tempfile
+    store = PagedStore(points, declusterer)
+    if backing == "mmap" or args.engine == "process":
+        # Spill the payloads to an out-of-core store directory; the
+        # directory stays RAM-resident, pages are served via mmap.
+        import tempfile
 
-            from repro.storage import MmapStore, save_mmap_store
+        from repro.storage import MmapStore, save_mmap_store
 
-            directory = tempfile.mkdtemp(prefix="repro-mmap-")
-            save_mmap_store(store, directory)
-            store = MmapStore(directory)
-        if args.engine == "process":
-            from repro.parallel.process import ProcessParallelEngine
+        directory = tempfile.mkdtemp(prefix="repro-mmap-")
+        save_mmap_store(store, directory)
+        mmap_store = MmapStore(directory)
+        try:
+            engine = _make_paged_engine(args, mmap_store, tracer)
+            return tracer, _drive_queries(args, engine, queries)
+        finally:
+            mmap_store.close()
+    engine = _make_paged_engine(args, store, tracer)
+    return tracer, _drive_queries(args, engine, queries)
 
-            if args.cache_pages:
-                raise ValueError(
-                    "--engine process is cacheless (the OS page cache "
-                    "serves warm mmap reads); drop --cache-pages"
-                )
-            engine = ProcessParallelEngine(
-                store, tracer=tracer, max_k=max(64, args.k)
+
+def _make_paged_engine(args, store, tracer):
+    """The paged-family engine the CLI flags select over ``store``."""
+    if args.engine == "process":
+        from repro.parallel.process import ProcessParallelEngine
+
+        if args.cache_pages:
+            raise ValueError(
+                "--engine process is cacheless (the OS page cache "
+                "serves warm mmap reads); drop --cache-pages"
             )
-        else:
-            engine = PagedEngine(
-                store, cache=args.cache_pages, tracer=tracer
-            )
+        return ProcessParallelEngine(
+            store, tracer=tracer, max_k=max(64, args.k)
+        )
+    from repro.parallel.paged import PagedEngine
+
+    return PagedEngine(store, cache=args.cache_pages, tracer=tracer)
+
+
+def _drive_queries(args, engine, queries):
+    """Run the workload through ``engine`` (closed on exit); totals."""
+    import numpy as np
+
     totals = np.zeros(args.disks, dtype=np.int64)
     try:
         for query in queries:
@@ -247,7 +263,7 @@ def _traced_workload(args: argparse.Namespace):
         closer = getattr(engine, "close", None)
         if closer is not None:
             closer()
-    return tracer, totals
+    return totals
 
 
 def _write_or_print(text: str, out: Optional[str], what: str) -> None:

@@ -28,6 +28,7 @@ from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.engine import ALL_RULES, all_rule_names, run_lint
 from repro.lint.findings import Finding, render_json, render_text
+from repro.lint.lifetime import LIFETIME_RULES
 from repro.lint.rules import RULES, Rule, rule_names
 from repro.lint.sarif import render_sarif
 
@@ -36,6 +37,7 @@ __all__ = [
     "CONCURRENCY_RULES",
     "DEFAULT_CONFIG",
     "Finding",
+    "LIFETIME_RULES",
     "LintConfig",
     "RULES",
     "Rule",

@@ -13,16 +13,20 @@ recorded fingerprints before rendering and exit-status evaluation, and
 
 ``--jobs N`` fans the per-file rule passes out over N worker threads
 (cross-module passes stay single-threaded); ``--select`` narrows the
-run to named rules or rule groups (``concurrency``, ``dataflow``);
-``--time-budget SECONDS`` turns the run's wall-clock into a gate —
-the elapsed time is reported on stderr and exceeding the budget fails
-the run even when the tree is clean.
+run to named rules or rule groups (``concurrency``, ``dataflow``,
+``lifetime``); ``--time-budget SECONDS`` turns the run's wall-clock
+into a gate — the elapsed time is reported on stderr and exceeding the
+budget fails the run even when the tree is clean.  ``--explain RULE``
+prints one rule's documentation: its rationale (the class docstring)
+plus a bad/good example pair from the rule's metadata.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+import textwrap
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Set
@@ -47,15 +51,18 @@ from repro.lint.findings import (
     render_json,
     render_text,
 )
+from repro.lint.lifetime import LIFETIME_RULES
 from repro.lint.sarif import render_sarif
 
 __all__ = ["main", "build_parser", "RULE_GROUPS"]
 
 #: Named rule groups ``--select`` expands (alongside individual rule
-#: names): run just the async-safety layer, or just the dataflow layer.
+#: names): run just the async-safety layer, just the dataflow layer, or
+#: just the resource-lifetime/process-safety layer.
 RULE_GROUPS = {
     "concurrency": tuple(rule.name for rule in CONCURRENCY_RULES),
     "dataflow": tuple(rule.name for rule in DATAFLOW_RULES),
+    "lifetime": tuple(rule.name for rule in LIFETIME_RULES),
 }
 
 
@@ -66,8 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static checker for this repository's paper-level "
         "invariants (seeded RNG, core-bits usage, buffer-pool charging, "
         "float equality, library prints, scheme registry completeness, "
-        "cross-module dataflow rules over the project call graph, and "
-        "async-safety rules for the serving layer).",
+        "cross-module dataflow rules over the project call graph, "
+        "async-safety rules for the serving layer, and path-sensitive "
+        "resource-lifetime/process-safety rules for the out-of-core "
+        "layer).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
@@ -105,7 +114,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print RULE's documentation — rationale plus a bad/good "
+        "example pair — and exit",
+    )
     return parser
+
+
+def _explain(name: str) -> int:
+    """Print one rule's doc, rationale and examples; exit status."""
+    rule = next((cls for cls in ALL_RULES if cls.name == name), None)
+    if rule is None:
+        print(
+            f"repro.lint: --explain {name!r} names no known rule "
+            f"(see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    group = next(
+        (g for g, members in sorted(RULE_GROUPS.items())
+         if rule.name in members),
+        "core",
+    )
+    print(f"{rule.name}  [{rule.severity}, group: {group}]")
+    print(f"  {rule.summary}")
+    print()
+    print(f"  scope:  {', '.join(rule.default_scope)}")
+    if rule.default_exempt:
+        print(f"  exempt: {', '.join(rule.default_exempt)}")
+    rationale = inspect.cleandoc(rule.__doc__ or "")
+    if rationale:
+        print()
+        print("Why:")
+        print(textwrap.indent(textwrap.fill(rationale, width=72), "  "))
+    if rule.example_bad:
+        print()
+        print("Bad:")
+        print(textwrap.indent(rule.example_bad.rstrip(), "  "))
+    if rule.example_good:
+        print()
+        print("Good:")
+        print(textwrap.indent(rule.example_good.rstrip(), "  "))
+    print()
+    print(
+        f"Suppress a single sanctioned line with: "
+        f"# repro-lint: disable={rule.name}"
+    )
+    return 0
 
 
 def _selected_config(selection: str) -> Optional[LintConfig]:
@@ -131,6 +187,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.explain is not None:
+        return _explain(args.explain)
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.name:>28}  {rule.summary}")

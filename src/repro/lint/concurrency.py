@@ -221,6 +221,17 @@ class AsyncAtomicityViolation(Rule):
                "it in an async method (no lock, no single-writer "
                "annotation)")
     default_scope = ("repro",)
+    example_bad = (
+        "async def admit(self, req):\n"
+        "    n = self.in_flight          # read\n"
+        "    await self.gate.wait()      # another task interleaves here\n"
+        "    self.in_flight = n + 1      # stale write"
+    )
+    example_good = (
+        "async def admit(self, req):\n"
+        "    async with self.lock:\n"
+        "        self.in_flight += 1"
+    )
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
@@ -361,6 +372,14 @@ class NoWallClockInVirtualTime(Rule):
     #: ``repro.serve.clock`` is the sanctioned wall-clock boundary;
     #: experiment drivers legitimately measure real elapsed time.
     default_exempt = ("repro.serve.clock", "repro.experiments")
+    example_bad = (
+        "def stamp(self, event):\n"
+        "    event.at = time.monotonic()   # machine-speed dependent"
+    )
+    example_good = (
+        "def stamp(self, event):\n"
+        "    event.at = self.clock.now()   # LoopClock / VirtualClock"
+    )
 
     _WALL_TARGETS = frozenset(
         {
@@ -485,6 +504,14 @@ class AsyncBlockingCall(Rule):
     summary = ("blocking call (time.sleep, file I/O, sync engine query) "
                "reachable inside an async def without executor offload")
     default_scope = ("repro",)
+    example_bad = (
+        "async def handle(self, query):\n"
+        "    return self.engine.query(query, k)   # stalls the loop"
+    )
+    example_good = (
+        "async def handle(self, query):\n"
+        "    return await asyncio.to_thread(self.engine.query, query, k)"
+    )
 
     _BLOCKING_TARGETS = frozenset(
         {
@@ -601,6 +628,11 @@ class TaskLeak(Rule):
     summary = ("asyncio.create_task / ensure_future result discarded; "
                "store the task and await/cancel it on shutdown")
     default_scope = ("repro",)
+    example_bad = "asyncio.create_task(self._flush_loop())"
+    example_good = (
+        "self._flusher = asyncio.create_task(self._flush_loop())\n"
+        "# ... and in stop():  self._flusher.cancel(); await gather(...)"
+    )
 
     _SPAWNERS = frozenset({"create_task", "ensure_future"})
 
@@ -642,6 +674,14 @@ class MissingAwait(Rule):
     summary = ("call to an async function in statement position without "
                "await; the coroutine never runs")
     default_scope = ("repro",)
+    example_bad = (
+        "async def stop(self):\n"
+        "    self.drain()                # async def — body never runs"
+    )
+    example_good = (
+        "async def stop(self):\n"
+        "    await self.drain()"
+    )
 
     def check_project(
         self, modules: Sequence[ModuleInfo], config: LintConfig

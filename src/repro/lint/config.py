@@ -75,7 +75,16 @@ class LintConfig:
         automatically by class-name convention).
     single_writer_attr:
         Class-attribute name holding the single-writer annotation that
-        sanctions attributes for ``async-atomicity-violation``.
+        sanctions attributes for ``async-atomicity-violation`` and
+        ``shared-state-without-lock``.
+    closeable_types:
+        Class names whose constructor returns a resource that
+        ``resource-leak`` requires closed on every path (project page
+        stores plus the stdlib handles they wrap).
+    spawn_unsafe_types:
+        Class names ``spawn-unsafe-capture`` refuses to see pickled
+        into a worker process (they own mmap/file handles that do not
+        survive a spawn).
     """
 
     enabled: Optional[FrozenSet[str]] = None
@@ -95,6 +104,17 @@ class LintConfig:
         "repro.serve.loadgen.sweep",
     )
     single_writer_attr: str = "_SINGLE_WRITER"
+    closeable_types: Tuple[str, ...] = (
+        "PageFile",
+        "PageFileWriter",
+        "MmapStore",
+        "SharedMemory",
+    )
+    spawn_unsafe_types: Tuple[str, ...] = (
+        "PageFile",
+        "PageFileWriter",
+        "MmapStore",
+    )
 
     def scope_for(self, rule_name: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
         """The scope prefixes for ``rule_name`` (override or default)."""

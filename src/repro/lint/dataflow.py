@@ -120,6 +120,17 @@ class NoUnchargedDiskRead(Rule):
         "repro.parallel.disks",
         "repro.parallel.cache",
     )
+    example_bad = (
+        "def fetch(self, leaf):\n"
+        "    self.disks.charge(leaf)         # no pool flow, no guard\n"
+        "    return self.store.read_page(leaf)"
+    )
+    example_good = (
+        "def fetch(self, leaf):\n"
+        "    if self.cache is None or not self.cache.access(page_id):\n"
+        "        self.disks.charge(leaf)     # miss (or cold) path only\n"
+        "    return self.store.read_page(leaf)"
+    )
 
     @staticmethod
     def _pool_access_lines(func: ast.AST) -> List[int]:
@@ -227,6 +238,11 @@ class TracerGuardRequired(Rule):
     summary = ("tracer-emitting call on a hot path without a dominating "
                "tracer.enabled guard")
     default_scope = ("repro.parallel", "repro.index")
+    example_bad = "self.tracer.page_read(disk, page_id)"
+    example_good = (
+        "if self.tracer.enabled:\n"
+        "    self.tracer.page_read(disk, page_id)"
+    )
 
     #: Tracer methods that allocate/emit when called unguarded.  ``record``
     #: is shared with Histogram, so receivers are also vetted (below).
@@ -356,6 +372,13 @@ class MetricInCatalogue(Rule):
                "different kind) in repro.obs.metrics.METRIC_CATALOGUE")
     default_scope = ("repro",)
     default_exempt = ("repro.obs.metrics",)
+    example_bad = 'registry.counter("pages_fetched")   # not in the catalogue'
+    example_good = (
+        "# repro/obs/metrics.py\n"
+        'METRIC_CATALOGUE = {..., "pages_fetched": "counter"}\n'
+        "# call site\n"
+        'registry.counter("pages_fetched")'
+    )
 
     _KIND_FOR_METHOD = {
         "counter": "counter",
@@ -475,6 +498,11 @@ class NoUnvalidatedSchemeString(Rule):
                "literal; resolve through repro.registry")
     default_scope = ("repro",)
     default_exempt = ("repro.registry",)
+    example_bad = 'if scheme == "disk_modulo": ...'
+    example_good = (
+        "from repro.registry import resolve_scheme\n"
+        "declusterer_cls = resolve_scheme(scheme)"
+    )
 
     @staticmethod
     def _scheme_literals(modules: Sequence[ModuleInfo], config: LintConfig) -> Set[str]:

@@ -15,6 +15,7 @@ from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.dataflow import DATAFLOW_RULES
 from repro.lint.findings import Finding
+from repro.lint.lifetime import LIFETIME_RULES
 from repro.lint.module import ModuleInfo
 from repro.lint.rules import RULES, Rule
 
@@ -30,12 +31,16 @@ __all__ = [
 SYNTAX_ERROR = "syntax-error"
 UNUSED_SUPPRESSION = "unused-suppression"
 
-#: Per-module rules plus the cross-module dataflow and async-safety
-#: layers, in reporting order.  Aggregated here (not in ``rules``)
-#: because those rules subclass :class:`~repro.lint.rules.Rule` and
-#: importing them back into ``rules`` would be circular.
+#: Per-module rules plus the cross-module dataflow, async-safety, and
+#: resource-lifetime layers, in reporting order.  Aggregated here (not
+#: in ``rules``) because those rules subclass
+#: :class:`~repro.lint.rules.Rule` and importing them back into
+#: ``rules`` would be circular.
 ALL_RULES: Tuple[Type[Rule], ...] = (
-    tuple(RULES) + tuple(DATAFLOW_RULES) + tuple(CONCURRENCY_RULES)
+    tuple(RULES)
+    + tuple(DATAFLOW_RULES)
+    + tuple(CONCURRENCY_RULES)
+    + tuple(LIFETIME_RULES)
 )
 
 

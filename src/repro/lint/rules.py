@@ -31,6 +31,10 @@ class Rule:
     default_scope: Tuple[str, ...] = ("repro",)
     #: Prefixes inside the scope that are sanctioned by default.
     default_exempt: Tuple[str, ...] = ()
+    #: Minimal offending snippet, rendered by ``--explain``.
+    example_bad: str = ""
+    #: The sanctioned counterpart, rendered by ``--explain``.
+    example_good: str = ""
 
     def applies_to(self, module: str, config: LintConfig) -> bool:
         """True when this rule should check dotted module ``module``."""
@@ -118,6 +122,11 @@ class SeededRngOnly(Rule):
     #: The sanitizer's RNG guard reads global state on purpose (to detect
     #: exactly this misuse at runtime).
     default_exempt = ("repro.sanitize.runtime",)
+    example_bad = "points = np.random.uniform(size=(n, d))"
+    example_good = (
+        "rng = np.random.default_rng(seed)\n"
+        "points = rng.uniform(size=(n, d))"
+    )
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
@@ -159,6 +168,11 @@ class UseCoreBits(Rule):
                "hamming_distance")
     default_scope = ("repro", "tests", "benchmarks")
     default_exempt = ("repro.core.bits", "tests.test_bits")
+    example_bad = 'ones = bin(mask).count("1")'
+    example_good = (
+        "from repro.core.bits import popcount\n"
+        "ones = popcount(mask)"
+    )
 
     @staticmethod
     def _is_count_of_ones(node: ast.Call) -> bool:
@@ -250,6 +264,16 @@ class ChargeThroughBufferPool(Rule):
         "repro.parallel.cache",
         "repro.parallel.disks",
     )
+    example_bad = (
+        "def fetch(disks, leaf):\n"
+        "    disks.charge(leaf)          # bypasses the buffer pool\n"
+        "    return leaf.entries"
+    )
+    example_good = (
+        "# Read through the engine: PagedEngine consults its BufferPool\n"
+        "# and charges the DiskArray only on a miss.\n"
+        "points, oids = engine.fetch_page(leaf)"
+    )
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
@@ -277,6 +301,8 @@ class NoFloatEq(Rule):
     name = "no-float-eq"
     summary = "exact ==/!= on a float-valued distance expression"
     default_scope = ("repro.index", "repro.analysis")
+    example_bad = "if mindist(query, mbr) == best_dist:"
+    example_good = "if math.isclose(mindist(query, mbr), best_dist,\n                rel_tol=1e-12):"
 
     _FLOAT_CALL_NAMES = frozenset(
         {"sqrt", "norm", "mindist", "minmaxdist", "key_to_distance"}
@@ -340,6 +366,15 @@ class NoPrintOutsideCli(Rule):
         "repro.sanitize.cli",
         "repro.sanitize.__main__",
     )
+    example_bad = (
+        "def query(self, point, k):\n"
+        '    print(f"visited {self.pages} pages")   # corrupts pipelines'
+    )
+    example_good = (
+        "def query(self, point, k):\n"
+        "    ...\n"
+        "    return QueryResult(neighbors, pages)   # CLI renders it"
+    )
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
@@ -366,6 +401,18 @@ class NoBroadExcept(Rule):
     name = "no-broad-except"
     summary = "bare/over-broad except; catch specific exception types"
     default_scope = ("repro",)
+    example_bad = (
+        "try:\n"
+        "    store = load_mmap_store(path)\n"
+        "except Exception:\n"
+        "    store = None"
+    )
+    example_good = (
+        "try:\n"
+        "    store = load_mmap_store(path)\n"
+        "except (OSError, PageFormatError):\n"
+        "    store = None"
+    )
 
     def check_module(
         self, module: ModuleInfo, config: LintConfig
@@ -406,6 +453,14 @@ class RegistryCompleteness(Rule):
     name = "registry-completeness"
     summary = "declustering scheme not registered in repro.registry"
     default_scope = ("repro.core", "repro.baselines")
+    example_bad = (
+        "# repro/baselines/shiny.py — never imported by repro.registry\n"
+        "class ShinyDeclusterer(Declusterer): ..."
+    )
+    example_good = (
+        "# repro/registry.py\n"
+        'DECLUSTERERS["shiny"] = ShinyDeclusterer'
+    )
 
     def _scheme_classes(
         self, module: ModuleInfo, config: LintConfig
@@ -494,6 +549,16 @@ class NoMissingPublicDocstring(Rule):
     severity = "warn"
     default_scope = ("repro.parallel", "repro.obs", "repro.lint",
                      "repro.sanitize", "repro.serve")
+    example_bad = (
+        "class PagedEngine:\n"
+        "    def query(self, point, k):\n"
+        "        ..."
+    )
+    example_good = (
+        "class PagedEngine:\n"
+        "    def query(self, point, k):\n"
+        '        """kNN over mmap pages; emits page_read trace events."""'
+    )
 
     def _undocumented(
         self, body: Sequence[ast.stmt], owner: str
@@ -542,6 +607,13 @@ class PreferKernelMindist(Rule):
     severity = "warn"
     default_scope = ("repro",)
     default_exempt = ("repro.index.kernels",)
+    example_bad = (
+        "dists = [entry.mbr.mindist(query) for entry in node.entries]"
+    )
+    example_good = (
+        "from repro.index.kernels import child_mindists\n"
+        "dists = child_mindists(query, node.entries)"
+    )
 
     @staticmethod
     def _iterates_entries(iterable: ast.AST) -> bool:

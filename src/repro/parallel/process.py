@@ -172,8 +172,8 @@ def _worker_main(
     """
     from repro.storage.mmap_store import MmapStore
 
-    store = MmapStore(directory)
     view = np.frombuffer(shared, dtype=np.float64)
+    store = MmapStore(directory)
     try:
         while True:
             task = tasks.get()
@@ -277,19 +277,26 @@ class ProcessParallelEngine:
         self._tasks = []
         self._procs = []
         directory = os.fspath(self.store.directory)
-        for disk in range(self.store.num_disks):
-            tasks = ctx.Queue()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    directory, disk, self.max_k, tasks, self._replies,
-                    self._shared, self._lock,
-                ),
-                daemon=True,
-            )
-            proc.start()
-            self._tasks.append(tasks)
-            self._procs.append(proc)
+        try:
+            for disk in range(self.store.num_disks):
+                tasks = ctx.Queue()
+                self._tasks.append(tasks)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        directory, disk, self.max_k, tasks, self._replies,
+                        self._shared, self._lock,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+        except (OSError, RuntimeError, ValueError):
+            # A worker failed to spawn mid-start: tear down the workers
+            # and queues that did start (close() handles partial state)
+            # so nothing leaks into the caller's error path.
+            self.close()
+            raise
 
     def close(self) -> None:
         """Stop the worker processes (idempotent)."""

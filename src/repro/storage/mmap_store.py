@@ -303,6 +303,7 @@ class MmapStore:
             id(leaf): int(count) for leaf, count in zip(leaves, leaf_counts)
         }
         self._page_files: Dict[int, PageFile] = {}
+        self._closed = False
 
     # ----------------------------------------------------------- queries
 
@@ -319,6 +320,12 @@ class MmapStore:
         return np.bincount(self.page_disks, minlength=self.num_disks)
 
     def _page_file(self, disk: int) -> PageFile:
+        if self._closed:
+            raise ValueError(
+                f"mmap store {os.fspath(self.directory)!r} is closed; "
+                f"page reads after close() would silently remap the "
+                f"files — reopen the store instead"
+            )
         handle = self._page_files.get(disk)
         if handle is None:
             handle = PageFile(self.directory / _page_file_name(disk))
@@ -354,10 +361,13 @@ class MmapStore:
 
     def close(self) -> None:
         """Unmap every open page file (results remain valid — payload
-        reads return owned copies)."""
+        reads return owned copies).  Idempotent; after close,
+        :meth:`read_page` raises :class:`ValueError` instead of
+        silently remapping the page files."""
         for handle in self._page_files.values():
             handle.close()
         self._page_files = {}
+        self._closed = True
 
     def __enter__(self) -> "MmapStore":
         return self

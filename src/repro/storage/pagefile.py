@@ -270,6 +270,8 @@ class PageFile:
 
     def entry_count(self, slot: int) -> int:
         """Entries stored in a slot — read from the table, no page touch."""
+        if self._mmap is None:
+            raise PageFormatError(f"page file {self.path!r} already closed")
         return int(self._counts[slot])
 
     def read_slot(self, slot: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -127,6 +127,54 @@ class TestLifecycle:
         assert batch.results == []
 
 
+class _FailingCtx:
+    """Proxy multiprocessing context whose Nth Process() blows up."""
+
+    def __init__(self, real, fail_at):
+        self._real = real
+        self._fail_at = fail_at
+        self._spawned = 0
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def Process(self, *args, **kwargs):
+        self._spawned += 1
+        if self._spawned >= self._fail_at:
+            raise OSError("simulated spawn failure")
+        return self._real.Process(*args, **kwargs)
+
+
+class TestStartupFailure:
+    def test_spawn_failure_mid_start_tears_down_and_recovers(
+        self, store_dir
+    ):
+        """A worker failing to spawn mid-start must not leak the workers
+        and queues that did start: the engine tears itself down, the
+        original error propagates, and the same engine instance works
+        once the fault is gone."""
+        with MmapStore(store_dir) as store:
+            engine = ProcessParallelEngine(store)
+            real_ctx = engine._ctx
+            engine._ctx = _FailingCtx(real_ctx, fail_at=2)
+            try:
+                with pytest.raises(OSError, match="simulated spawn"):
+                    engine.query(np.full(6, 0.5), 2)
+                # close() ran: partial worker/queue state is fully reset.
+                assert engine._procs == []
+                assert engine._tasks == []
+                assert engine._replies is None
+                assert engine._shared is None
+                assert engine._lock is None
+                # The engine recovers once spawning works again.
+                engine._ctx = real_ctx
+                result = engine.query(np.full(6, 0.5), 2)
+                assert len(result.neighbors) == 2
+            finally:
+                engine._ctx = real_ctx
+                engine.close()
+
+
 class TestArgumentValidation:
     def test_k_beyond_max_k_raises(self, mmap_store):
         engine = ProcessParallelEngine(mmap_store, max_k=4)
