@@ -48,10 +48,11 @@ import argparse
 import json
 import os
 import pathlib
+import resource
 import sys
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 import numpy as np
@@ -104,6 +105,19 @@ def _time_pass(engine, queries, k: int) -> float:
     for query in queries:
         engine.query(query, k)
     return time.perf_counter() - start
+
+
+def peak_rss_bytes() -> int:
+    """High-water RSS of this process and its reaped workers, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux; taking the max over SELF and
+    CHILDREN covers both the coordinator and the per-disk worker
+    processes (workers are joined before each rung returns, so their
+    high-water marks have been folded into CHILDREN by then).
+    """
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return max(self_kb, child_kb) * 1024
 
 
 def measure_disk_count(
@@ -173,6 +187,7 @@ def measure_disk_count(
         "charged_pages": charged_pages,
         "pages_per_sec": round(charged_pages / warm_s, 1),
         "warm_s": warm_s,
+        "peak_rss_mb": round(peak_rss_bytes() / (1024 * 1024), 1),
     }
 
 
@@ -211,6 +226,7 @@ def append_trajectory(
             {key: rung[key] for key in (
                 "disks", "cold_ms_per_query", "warm_ms_per_query",
                 "charged_pages", "pages_per_sec", "speedup",
+                "peak_rss_mb",
             )}
             for rung in rungs
         ],
@@ -237,7 +253,7 @@ def run(
             f"{workload.num_queries} queries)"
         ),
         columns=["disks", "cold_ms_per_query", "warm_ms_per_query",
-                 "pages_per_sec", "speedup"],
+                 "pages_per_sec", "speedup", "peak_rss_mb"],
     )
     rungs: List[dict] = []
     with tempfile.TemporaryDirectory(prefix="repro-wallclock-") as tmp:
@@ -260,7 +276,7 @@ def run(
         table.add_row(
             rung["disks"], rung["cold_ms_per_query"],
             rung["warm_ms_per_query"], rung["pages_per_sec"],
-            rung["speedup"],
+            rung["speedup"], rung["peak_rss_mb"],
         )
     table.add_note(
         "real elapsed time: per-disk worker processes over mmap page "
@@ -315,8 +331,26 @@ def main(argv: Optional[List[str]] = None) -> int:
              "BENCH_wallclock.json at the repo root for full runs, "
              "none for --smoke)",
     )
+    parser.add_argument(
+        "--num-points", type=int, default=None, dest="num_points",
+        help="override the workload's point count (keeps smoke/full "
+             "trajectories comparable with bench_scale.py rungs)",
+    )
+    parser.add_argument(
+        "--disk-ms", type=float, default=None, dest="disk_ms",
+        help="override the simulated per-block disk service time used "
+             "by the timed passes (ms)",
+    )
     options = parser.parse_args(argv)
     workload = SMOKE if options.smoke else FULL
+    if options.num_points is not None:
+        if options.num_points < 1:
+            parser.error("--num-points must be >= 1")
+        workload = replace(workload, num_points=options.num_points)
+    if options.disk_ms is not None:
+        if options.disk_ms < 0:
+            parser.error("--disk-ms must be >= 0")
+        workload = replace(workload, disk_ms=options.disk_ms)
     trajectory = options.trajectory
     if trajectory is None and not options.smoke:
         trajectory = REPO_ROOT / "BENCH_wallclock.json"

@@ -395,21 +395,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    service = QueryService(engine, policy, tracer=tracer)
-    if args.arrivals == "closed":
-        report = run_closed_loop(
-            service, spec, num_clients=args.clients,
-            requests_per_client=max(1, args.requests // args.clients),
-            think_ms=args.think_ms, seed=args.trace_seed,
-        )
-    else:
-        make_trace = (
-            poisson_trace if args.arrivals == "poisson" else uniform_trace
-        )
-        trace = make_trace(
-            spec, args.requests, args.rate_qps, args.trace_seed
-        )
-        report = service.run_trace(trace)
+    service = QueryService(engine, policy, tracer=tracer, own_engine=True)
+    try:
+        if args.arrivals == "closed":
+            report = run_closed_loop(
+                service, spec, num_clients=args.clients,
+                requests_per_client=max(1, args.requests // args.clients),
+                think_ms=args.think_ms, seed=args.trace_seed,
+            )
+        else:
+            make_trace = (
+                poisson_trace if args.arrivals == "poisson"
+                else uniform_trace
+            )
+            trace = make_trace(
+                spec, args.requests, args.rate_qps, args.trace_seed
+            )
+            report = service.run_trace(trace)
+    finally:
+        service.close()
     print(
         f"{len(report.outcomes)} requests in {report.num_batches} "
         f"batches ({report.policy}, mean size "
@@ -575,13 +579,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-seed", type=int, default=1,
                        dest="trace_seed",
                        help="arrival-trace seed (default 1)")
-        p.add_argument("--engine", choices=("paged", "item"),
+        p.add_argument("--engine", choices=("paged", "item", "process"),
                        default="paged",
-                       help="engine family (default paged)")
+                       help="engine family (default paged; process = "
+                       "one worker process per disk over an on-disk "
+                       "store built for the run)")
         p.add_argument("--cache-pages", type=_nonnegative_int,
                        default=None, dest="cache_pages",
                        help="attach an LRU buffer pool of this many "
-                       "pages (default: no cache)")
+                       "pages (default: no cache; not valid with "
+                       "--engine process)")
         p.add_argument("--policy", default="max-batch",
                        help="scheduler policy (default max-batch; see "
                        "repro.serve.scheduler.SCHEDULERS)")

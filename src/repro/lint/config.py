@@ -80,7 +80,8 @@ class LintConfig:
     closeable_types:
         Class names whose constructor returns a resource that
         ``resource-leak`` requires closed on every path (project page
-        stores plus the stdlib handles they wrap).
+        stores, the streaming builder's spill-run temp files, plus the
+        stdlib handles they wrap).
     spawn_unsafe_types:
         Class names ``spawn-unsafe-capture`` refuses to see pickled
         into a worker process (they own mmap/file handles that do not
@@ -109,6 +110,7 @@ class LintConfig:
         "PageFileWriter",
         "MmapStore",
         "SharedMemory",
+        "SpillFile",
     )
     spawn_unsafe_types: Tuple[str, ...] = (
         "PageFile",

@@ -84,7 +84,12 @@ __all__ = [
 _FUNC_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef)
 
 #: Method names that release a tracked resource when called on it.
-_CLOSE_METHODS = frozenset({"close", "stop", "terminate", "shutdown", "unlink"})
+#: ``delete`` is the spill-file release verb (close + unlink): the
+#: streaming builder deletes — or adopts into a registry — every spill
+#: run on every CFG path, and this rule is what enforces that.
+_CLOSE_METHODS = frozenset(
+    {"close", "stop", "terminate", "shutdown", "unlink", "delete"}
+)
 
 #: A class defining any of these owns the lifetime of resources stored
 #: on its ``self`` — storing a handle there is a sanctioned escape.

@@ -29,10 +29,14 @@ contract — bit-for-bit the same results and page counts.
 from __future__ import annotations
 
 import heapq
+import shutil
+import tempfile
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.parallel.process import ProcessParallelEngine
 
 from repro.experiments.harness import ResultTable
 from repro.obs.tracer import Tracer
@@ -56,7 +60,7 @@ __all__ = [
 ]
 
 #: Engine families the load generator can build.
-ENGINE_KINDS = ("item", "paged")
+ENGINE_KINDS = ("item", "paged", "process")
 
 
 @dataclass(frozen=True)
@@ -65,10 +69,15 @@ class WorkloadSpec:
 
     ``n`` points in ``d`` dimensions are declustered over ``num_disks``
     disks by ``scheme``; queries ask for ``k`` neighbors.  ``engine``
-    selects the item-level :class:`~repro.parallel.engine.ParallelEngine`
-    or the page-level :class:`~repro.parallel.paged.PagedEngine`;
+    selects the item-level :class:`~repro.parallel.engine.ParallelEngine`,
+    the page-level :class:`~repro.parallel.paged.PagedEngine`, or the
+    out-of-core
+    :class:`~repro.parallel.process.ProcessParallelEngine` (one worker
+    process per disk over an on-disk store built for the run);
     ``cache_pages`` attaches a shared buffer pool (``None`` = no pool;
     0 = a disabled pool that counts misses, the engines' convention).
+    The process engine is cacheless — warm reads are served by the OS
+    page cache — so ``cache_pages`` must stay ``None`` with it.
     ``tenants`` maps tenant labels to mix weights used when sampling
     request attribution.
     """
@@ -90,12 +99,38 @@ class WorkloadSpec:
             raise ValueError(
                 f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
             )
+        if self.engine == "process" and self.cache_pages is not None:
+            raise ValueError(
+                "the process engine is cacheless (warm mmap reads are "
+                "served by the OS page cache); drop cache_pages or use "
+                "engine='paged'"
+            )
         if not self.tenants:
             raise ValueError("tenants mix must not be empty")
         if any(weight < 0 for weight in self.tenants.values()):
             raise ValueError("tenant weights must be >= 0")
         if sum(self.tenants.values()) <= 0:
             raise ValueError("tenant weights must sum to > 0")
+
+
+class _TempStoreProcessEngine(ProcessParallelEngine):
+    """A process engine that owns its store's temp directory.
+
+    :func:`build_engine` materialises the spec's points into a fresh
+    on-disk :class:`~repro.storage.mmap_store.MmapStore` under a
+    temporary directory; closing the engine also closes the store and
+    removes the directory, so a serving run leaves nothing behind.
+    """
+
+    def __init__(self, store: Any, temp_dir: str, **kwargs: Any):
+        super().__init__(store, **kwargs)
+        self._temp_dir = temp_dir
+
+    def close(self) -> None:
+        """Stop the workers, close the store, remove its directory."""
+        super().close()
+        self.store.close()
+        shutil.rmtree(self._temp_dir, ignore_errors=True)
 
 
 def build_engine(spec: WorkloadSpec, tracer: Optional[Tracer] = None) -> Any:
@@ -105,12 +140,34 @@ def build_engine(spec: WorkloadSpec, tracer: Optional[Tracer] = None) -> Any:
     with the same spec produce identically declustered stores — the
     property the oracle suite leans on to compare a served run against
     a direct ``query_batch`` reference on a *separate* engine.
+
+    ``engine="process"`` builds an on-disk
+    :class:`~repro.storage.mmap_store.MmapStore` in a temporary
+    directory and serves it with one worker process per disk; the
+    returned engine owns the directory, so call ``close()`` (or let
+    :class:`~repro.serve.service.QueryService` with ``own_engine=True``
+    do it) to reclaim the workers and the files.
     """
     from repro.registry import make_declusterer
 
     rng = np.random.default_rng(spec.seed)
     points = rng.random((spec.n, spec.d))
     declusterer = make_declusterer(spec.scheme, spec.d, spec.num_disks)
+    if spec.engine == "process":
+        from repro.storage import bulk_load_mmap
+
+        temp_dir = tempfile.mkdtemp(prefix="repro-serve-store-")
+        engine: Optional[_TempStoreProcessEngine] = None
+        try:
+            store = bulk_load_mmap(
+                points, declusterer, f"{temp_dir}/store"
+            )
+            engine = _TempStoreProcessEngine(store, temp_dir, tracer=tracer)
+            return engine
+        finally:
+            # A failed build leaves no engine to own the directory.
+            if engine is None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
     if spec.engine == "item":
         from repro.parallel.engine import ParallelEngine
         from repro.parallel.store import DeclusteredStore
@@ -344,28 +401,50 @@ def sweep(
         cell_spec = replace(spec, scheme=scheme)
         engine = build_engine(cell_spec, tracer=tracer)
         service = QueryService(
-            engine, policy, tracer=tracer, **policy_kwargs
+            engine, policy, tracer=tracer, own_engine=True,
+            **policy_kwargs,
         )
-        for qps in offered_qps:
-            if engine.cache is not None:
-                engine.cache.reset()
-            trace = poisson_trace(cell_spec, requests, qps, trace_seed)
-            report = service.run_trace(trace)
-            points.append(
-                LoadPoint(
-                    scheme=scheme,
-                    policy=report.policy,
-                    offered_qps=float(qps),
-                    completed=len(report.outcomes),
-                    throughput_qps=round(report.throughput_qps, 3),
-                    p50_ms=round(report.p50_latency_ms, 3),
-                    p95_ms=round(report.p95_latency_ms, 3),
-                    p99_ms=round(report.p99_latency_ms, 3),
-                    mean_ms=round(report.mean_latency_ms, 3),
-                    mean_batch_size=round(report.mean_batch_size, 3),
-                    max_pages=report.max_pages,
+        try:
+            points.extend(
+                _sweep_scheme(
+                    service, cell_spec, offered_qps, requests, trace_seed
                 )
             )
+        finally:
+            service.close()
+    return points
+
+
+def _sweep_scheme(
+    service: QueryService,
+    cell_spec: WorkloadSpec,
+    offered_qps: Sequence[float],
+    requests: int,
+    trace_seed: int,
+) -> List[LoadPoint]:
+    """Run one scheme's offered-load column of a :func:`sweep`."""
+    engine = service.engine
+    points: List[LoadPoint] = []
+    for qps in offered_qps:
+        if engine.cache is not None:
+            engine.cache.reset()
+        trace = poisson_trace(cell_spec, requests, qps, trace_seed)
+        report = service.run_trace(trace)
+        points.append(
+            LoadPoint(
+                scheme=cell_spec.scheme,
+                policy=report.policy,
+                offered_qps=float(qps),
+                completed=len(report.outcomes),
+                throughput_qps=round(report.throughput_qps, 3),
+                p50_ms=round(report.p50_latency_ms, 3),
+                p95_ms=round(report.p95_latency_ms, 3),
+                p99_ms=round(report.p99_latency_ms, 3),
+                mean_ms=round(report.mean_latency_ms, 3),
+                mean_batch_size=round(report.mean_batch_size, 3),
+                max_pages=report.max_pages,
+            )
+        )
     return points
 
 

@@ -310,10 +310,12 @@ class QueryService:
     ----------
     engine:
         A :class:`~repro.parallel.engine.ParallelEngine`,
-        :class:`~repro.parallel.engine.SequentialEngine`, or
-        :class:`~repro.parallel.paged.PagedEngine`; batches run through
-        its ``query_batch`` and share its buffer pool.  Window requests
-        additionally require the engine's store to be a
+        :class:`~repro.parallel.engine.SequentialEngine`,
+        :class:`~repro.parallel.paged.PagedEngine`, or
+        :class:`~repro.parallel.process.ProcessParallelEngine`; batches
+        run through its ``query_batch`` and share its buffer pool (the
+        process engine is cacheless).  Window requests additionally
+        require the engine's store to be a
         :class:`~repro.parallel.paged.PagedStore`.
     policy:
         A :class:`~repro.serve.scheduler.SchedulerPolicy` or a
@@ -330,6 +332,12 @@ class QueryService:
         loop's :class:`~repro.serve.clock.LoopClock`.  The virtual-time
         planner never reads it — ``run_stream`` drives its own
         :class:`~repro.serve.clock.VirtualClock`.
+    own_engine:
+        When true the service owns the engine's lifecycle: both
+        :meth:`close` and (after draining) :meth:`stop` call the
+        engine's ``close()`` — the hand-off :func:`~repro.serve.loadgen.
+        build_engine` relies on so a process-engine worker pool (and
+        its temp store) never outlives the service.
     """
 
     #: Attributes a single owner (the scheduler task) mutates; the
@@ -343,9 +351,11 @@ class QueryService:
         policy: Union[str, SchedulerPolicy] = "fifo",
         tracer: Optional[Tracer] = None,
         clock: Optional[Clock] = None,
+        own_engine: bool = False,
         **policy_kwargs: object,
     ):
         self.engine = engine
+        self.own_engine = bool(own_engine)
         self.policy = make_scheduler(policy, **policy_kwargs)
         self.tracer = tracer
         self.clock: Clock = clock if clock is not None else LoopClock()
@@ -360,6 +370,22 @@ class QueryService:
         self._async_batches = 0
 
     # ------------------------------------------------------------- helpers
+
+    def close(self) -> None:
+        """Release the engine when this service owns it (idempotent).
+
+        With ``own_engine=True`` this calls the engine's ``close()``
+        (engines without one — the in-process families — need no
+        teardown).  Synchronous runs (:meth:`run_trace`,
+        :meth:`run_stream`, :func:`~repro.serve.loadgen.sweep` cells)
+        should call it when done; the asyncio front door's
+        :meth:`stop` calls it after draining the scheduler.
+        """
+        if not self.own_engine:
+            return
+        closer = getattr(self.engine, "close", None)
+        if callable(closer):
+            closer()
 
     def _active_tracer(self) -> Tracer:
         """This service's tracer, else the ambient one, else the null
@@ -648,15 +674,25 @@ class QueryService:
         *before* it suspends: a concurrent second ``stop()`` (or a
         ``start()``) interleaved at the ``await`` observes the service
         already stopped instead of double-draining the same task.
+
+        When the service owns its engine (``own_engine=True``) the
+        engine is closed after the scheduler drains — a process
+        engine's worker pool is torn down here — and also when
+        ``stop()`` is called on a never-started service, so teardown
+        is unconditional.
         """
         task = self._task
         queue = self._queue
         if task is None or queue is None:
+            self.close()
             return
         self._task = None
         self._queue = None
-        await queue.put(None)
-        await task
+        try:
+            await queue.put(None)
+            await task
+        finally:
+            self.close()
 
     def _now_ms(self) -> float:
         """Milliseconds since :meth:`start` on the service clock."""

@@ -8,7 +8,12 @@ stays RAM-resident (the paper's shared-directory model).  See
 
 from __future__ import annotations
 
-from repro.storage.bulk import bulk_load_mmap
+from repro.storage.bulk import (
+    DEFAULT_MAX_RAM_BYTES,
+    SPILL_DIR_NAME,
+    bulk_load_mmap,
+    stream_bulk_load_mmap,
+)
 from repro.storage.mmap_store import (
     SIMULATED_DISK_MS_ENV,
     MmapStore,
@@ -25,12 +30,18 @@ from repro.storage.pagefile import (
     SlotOverflowError,
     payload_bytes,
 )
+from repro.storage.spill import SpillFile, sort_segment
 
 __all__ = [
     "MmapStore",
     "save_mmap_store",
     "load_mmap_store",
     "bulk_load_mmap",
+    "stream_bulk_load_mmap",
+    "DEFAULT_MAX_RAM_BYTES",
+    "SPILL_DIR_NAME",
+    "SpillFile",
+    "sort_segment",
     "PageFile",
     "PageFileWriter",
     "PageFormatError",

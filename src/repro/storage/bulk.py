@@ -18,8 +18,23 @@ identically (the test suite asserts this on shared seeds).
 
 from __future__ import annotations
 
+import itertools
+import math
 import os
-from typing import Callable, List, Optional, Sequence, Tuple, Type, Union
+import shutil
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
 
 import numpy as np
 
@@ -32,8 +47,22 @@ from repro.index.xtree import XTree
 from repro.parallel.cache import CacheConfig
 from repro.persistence import _STORE_FORMAT_VERSION, _encode_cache, _tree_header
 from repro.storage.mmap_store import MmapStore, _write_store
+from repro.storage.spill import SpillFile, sort_segment
 
-__all__ = ["bulk_load_mmap"]
+__all__ = [
+    "bulk_load_mmap",
+    "stream_bulk_load_mmap",
+    "DEFAULT_MAX_RAM_BYTES",
+    "SPILL_DIR_NAME",
+]
+
+#: Default RAM budget for :func:`stream_bulk_load_mmap`'s sort chunks.
+DEFAULT_MAX_RAM_BYTES = 256 * 1024 * 1024
+
+#: Spill sub-directory (ping-pong record files + sort runs) created
+#: inside the store directory during a streaming build and removed —
+#: success or failure — before :func:`stream_bulk_load_mmap` returns.
+SPILL_DIR_NAME = ".spill"
 
 
 def _skeleton_tree(
@@ -151,4 +180,473 @@ def bulk_load_mmap(
         page_bytes,
         slot_bytes,
     )
+    return MmapStore(directory)
+
+
+# --------------------------------------------------------------- streaming
+
+#: Anything :func:`stream_bulk_load_mmap` accepts as its point source:
+#: an in-RAM (or memmapped) ``(N, d)`` array, a path to a C-order 2-D
+#: ``.npy`` file (read with buffered I/O, never mapped), or an iterable
+#: of ``(m, d)`` row chunks.
+PointSource = Union[np.ndarray, str, os.PathLike, Iterable[object]]
+
+_RECORD_A = "records-a.f64"
+_RECORD_B = "records-b.f64"
+
+
+def _resolve_chunk_rows(
+    dimension: int, max_ram_bytes: int, chunk_rows: Optional[int]
+) -> int:
+    """Rows per in-RAM sort chunk under the ``max_ram_bytes`` budget.
+
+    A chunk of ``r`` rows costs ``r * 8 * (d + 1)`` bytes and the sort
+    holds roughly four copies' worth of transient arrays (the chunk,
+    its stable argsort, the permuted output, and merge buffers), so the
+    budget is divided by four record widths.
+    """
+    if chunk_rows is not None:
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        return int(chunk_rows)
+    if max_ram_bytes < 1:
+        raise ValueError(f"max_ram_bytes must be >= 1, got {max_ram_bytes}")
+    row_bytes = 8 * (dimension + 1)
+    return max(1, int(max_ram_bytes) // (row_bytes * 4))
+
+
+def _check_dim(actual: int, wanted: Optional[int]) -> int:
+    if actual < 1:
+        raise ValueError(f"point dimension must be >= 1, got {actual}")
+    if wanted is not None and int(wanted) != actual:
+        raise ValueError(
+            f"source has dimension {actual}, but dimension={wanted} was given"
+        )
+    return actual
+
+
+def _coerce_chunk(item: object) -> np.ndarray:
+    """One iterable item as a C-contiguous float64 ``(m, d)`` block."""
+    block = np.ascontiguousarray(item, dtype=np.float64)
+    if block.ndim == 1:
+        block = block.reshape(1, -1)
+    if block.ndim != 2:
+        raise ValueError(
+            f"point chunks must be (m, d), got shape {block.shape}"
+        )
+    return block
+
+
+def _array_chunks(array: np.ndarray, rows: int) -> Iterator[np.ndarray]:
+    """Row chunks of an in-RAM (or memmapped) point array."""
+    for offset in range(0, len(array), rows):
+        yield np.ascontiguousarray(
+            array[offset : offset + rows], dtype=np.float64
+        )
+
+
+def _iterable_chunks(items: Iterable[object], rows: int) -> Iterator[np.ndarray]:
+    """Caller-supplied chunks, re-split to at most ``rows`` rows each."""
+    for item in items:
+        block = _coerce_chunk(item)
+        for offset in range(0, len(block), rows):
+            yield block[offset : offset + rows]
+
+
+def _npy_meta(
+    path: Union[str, os.PathLike],
+) -> Tuple[Tuple[int, int], np.dtype, int]:
+    """Shape, dtype, and data offset of a C-order 2-D ``.npy`` file."""
+    with open(path, "rb") as handle:
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(
+                f"unsupported .npy format version {version} in "
+                f"{os.fspath(path)!r}"
+            )
+        offset = handle.tell()
+    if len(shape) != 2:
+        raise ValueError(f"points must be (N, d), got shape {shape}")
+    if fortran:
+        raise ValueError(
+            f"{os.fspath(path)!r} is Fortran-ordered; the streaming "
+            f"loader reads C-order row chunks"
+        )
+    if dtype.hasobject:
+        raise ValueError(f"{os.fspath(path)!r} holds objects, not numbers")
+    return (int(shape[0]), int(shape[1])), dtype, offset
+
+
+def _npy_chunks(
+    path: Union[str, os.PathLike],
+    shape: Tuple[int, int],
+    dtype: np.dtype,
+    offset: int,
+    rows: int,
+) -> Iterator[np.ndarray]:
+    """Stream a ``.npy`` file's rows with buffered reads (never mmap)."""
+    total, dimension = shape
+    row_bytes = dimension * dtype.itemsize
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        done = 0
+        while done < total:
+            take = min(rows, total - done)
+            data = handle.read(take * row_bytes)
+            if len(data) != take * row_bytes:
+                raise ValueError(
+                    f"{os.fspath(path)!r} is truncated: row {done} of "
+                    f"{total} ends mid-file"
+                )
+            block = np.frombuffer(data, dtype=dtype).reshape(take, dimension)
+            yield np.ascontiguousarray(block, dtype=np.float64)
+            done += take
+
+
+def _ingest(
+    source: PointSource,
+    spill_dir: Path,
+    max_ram_bytes: int,
+    chunk_rows: Optional[int],
+    dimension: Optional[int],
+) -> Tuple[SpillFile, SpillFile, int, int, int]:
+    """Stream ``source`` into the primary record file.
+
+    Returns ``(records, alternate, count, dimension, chunk_rows)`` —
+    the filled ping-pong record file A, the empty file B, the point
+    count, the resolved dimension, and the resolved sort-chunk size.
+    Records are rows of ``d + 1`` float64 values: the coordinates
+    followed by the point's original position (later the default oid).
+    """
+    chunks: Iterator[np.ndarray]
+    if isinstance(source, np.ndarray):
+        if source.ndim != 2:
+            raise ValueError(
+                f"points must be (N, d), got shape {source.shape}"
+            )
+        dim = _check_dim(int(source.shape[1]), dimension)
+        rows = _resolve_chunk_rows(dim, max_ram_bytes, chunk_rows)
+        chunks = _array_chunks(source, rows)
+    elif isinstance(source, (str, os.PathLike)):
+        shape, dtype, offset = _npy_meta(source)
+        dim = _check_dim(shape[1], dimension)
+        rows = _resolve_chunk_rows(dim, max_ram_bytes, chunk_rows)
+        chunks = _npy_chunks(source, shape, dtype, offset, rows)
+    else:
+        iterator = iter(source)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            if dimension is None:
+                raise ValueError(
+                    "cannot infer the point dimension of an empty "
+                    "source; pass dimension="
+                ) from None
+            dim = _check_dim(int(dimension), None)
+            rows = _resolve_chunk_rows(dim, max_ram_bytes, chunk_rows)
+            chunks = iter(())
+        else:
+            head = _coerce_chunk(first)
+            dim = _check_dim(int(head.shape[1]), dimension)
+            rows = _resolve_chunk_rows(dim, max_ram_bytes, chunk_rows)
+            chunks = _iterable_chunks(
+                itertools.chain([head], iterator), rows
+            )
+
+    records = _record_file(spill_dir, _RECORD_A, dim + 1)
+    alternate: Optional[SpillFile] = None
+    try:
+        count = 0
+        for chunk in chunks:
+            if chunk.shape[1] != dim:
+                raise ValueError(
+                    f"point chunk has dimension {chunk.shape[1]}, "
+                    f"expected {dim}"
+                )
+            block = np.empty((len(chunk), dim + 1), dtype=np.float64)
+            block[:, :dim] = chunk
+            block[:, dim] = np.arange(
+                count, count + len(chunk), dtype=np.float64
+            )
+            records.append(block)
+            count += len(chunk)
+        alternate = _record_file(spill_dir, _RECORD_B, dim + 1)
+        return records, alternate, count, dim, rows
+    finally:
+        # An ingest that failed before file B existed is the only path
+        # that leaves file A unowned by the caller.
+        if alternate is None:
+            records.delete()
+
+
+def _record_file(spill_dir: str, name: str, width: int) -> SpillFile:
+    """Open one ping-pong record file under the spill directory.
+
+    The caller owns the handle: :func:`_ingest` deletes file A when the
+    ingest fails before file B exists, and
+    :func:`stream_bulk_load_mmap` deletes both in its ``finally``.
+    """
+    return SpillFile(os.path.join(spill_dir, name), width)
+
+
+def _split_bounds(start: int, stop: int, parts: int) -> List[Tuple[int, int]]:
+    """Row boundaries matching ``np.array_split`` over ``stop - start``."""
+    each, extras = divmod(stop - start, parts)
+    bounds: List[Tuple[int, int]] = []
+    offset = start
+    for index in range(parts):
+        size = each + 1 if index < extras else each
+        bounds.append((offset, offset + size))
+        offset += size
+    return bounds
+
+
+def _stream_tiles(
+    files: Tuple[SpillFile, SpillFile],
+    count: int,
+    dimension: int,
+    capacity: int,
+    chunk_rows: int,
+    run_dir: Path,
+) -> Tuple[List[Tuple[int, int, int]], List[np.ndarray], List[np.ndarray]]:
+    """Run the STR recursion out-of-core over the record files.
+
+    This is :func:`repro.index.bulk.str_chunks` with the stable argsort
+    replaced by :func:`repro.storage.spill.sort_segment` and the index
+    arrays replaced by ``(start, stop, file)`` row ranges — an explicit
+    depth-first stack preserves the recursion's tile emission order.
+    Returns the tiles plus each tile's MBR low/high corner.
+    """
+    tiles: List[Tuple[int, int, int]] = []
+    lows: List[np.ndarray] = []
+    highs: List[np.ndarray] = []
+    stack: List[Tuple[int, int, int, int]] = [(0, count, 0, 0)]
+    while stack:
+        start, stop, dim, src = stack.pop()
+        segment = stop - start
+        if segment <= capacity:
+            block = files[src].read(start, stop)
+            points = block[:, :dimension]
+            tiles.append((start, stop, src))
+            lows.append(points.min(axis=0))
+            highs.append(points.max(axis=0))
+            continue
+        pages = math.ceil(segment / capacity)
+        dst = 1 - src
+        sort_segment(
+            files[src],
+            files[dst],
+            start,
+            stop,
+            dim,
+            chunk_rows=chunk_rows,
+            run_dir=run_dir,
+        )
+        if dim >= dimension - 1:
+            # Last dimension: slice into near-equal runs of <= capacity.
+            children = [
+                (low, high, dim, dst)
+                for low, high in _split_bounds(start, stop, pages)
+            ]
+        else:
+            dims_left = dimension - dim
+            slabs = math.ceil(pages ** (1.0 / dims_left))
+            children = [
+                (low, high, dim + 1, dst)
+                for low, high in _split_bounds(start, stop, slabs)
+                if high > low
+            ]
+        stack.extend(reversed(children))
+    return tiles, lows, highs
+
+
+def _directory_from_tiles(
+    tree: RStarTree,
+    lows: List[np.ndarray],
+    highs: List[np.ndarray],
+    fill: float,
+    count: int,
+) -> Tuple[List[Node], List[int]]:
+    """Grow the directory bottom-up from streamed tile MBRs.
+
+    Mirrors ``_skeleton_tree``'s directory phase; returns the tree's
+    leaves in pre-order plus each leaf's tile index.
+    """
+    level: List[Node] = []
+    tile_of: Dict[int, int] = {}
+    for index in range(len(lows)):
+        node = Node(is_leaf=True)
+        node.mbr = MBR(lows[index], highs[index])
+        tile_of[id(node)] = index
+        level.append(node)
+    dir_target = max(4, int(tree.dir_cap * fill))
+    while len(level) > 1:
+        centers = np.vstack([node.mbr.center for node in level])
+        groups = str_chunks(centers, dir_target)
+        level = [
+            Node(is_leaf=False, entries=[level[i] for i in group])
+            for group in groups
+        ]
+    tree.root = level[0]
+    tree.size = count
+    leaves = list(tree.leaves())
+    return leaves, [tile_of[id(leaf)] for leaf in leaves]
+
+
+class _SpillPayloads:
+    """Lazy per-leaf ``(points, oids)`` view over the record files.
+
+    ``_write_store`` indexes this while writing page files, so only one
+    tile's payload is in RAM at a time — the streamed build never holds
+    all payloads simultaneously the way the in-memory path does.
+    """
+
+    def __init__(
+        self,
+        files: Tuple[SpillFile, SpillFile],
+        tiles: List[Tuple[int, int, int]],
+        dimension: int,
+        oids: Optional[np.ndarray],
+    ):
+        self._files = files
+        self._tiles = tiles
+        self._dimension = dimension
+        self._oids = oids
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        start, stop, src = self._tiles[index]
+        block = self._files[src].read(start, stop)
+        points = block[:, : self._dimension]
+        indices = block[:, self._dimension].astype(np.int64)
+        if self._oids is None:
+            oids = indices
+        else:
+            oids = np.ascontiguousarray(self._oids[indices], dtype=np.int64)
+        return points, oids
+
+
+def stream_bulk_load_mmap(
+    source: PointSource,
+    declusterer: Union[Declusterer, Callable],
+    directory: Union[str, os.PathLike],
+    *,
+    num_disks: Optional[int] = None,
+    oids: Optional[Sequence[int]] = None,
+    tree_cls: Type[RStarTree] = XTree,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    fill: float = 0.85,
+    cache_config: Optional[CacheConfig] = None,
+    slot_bytes: Optional[int] = None,
+    max_ram_bytes: int = DEFAULT_MAX_RAM_BYTES,
+    chunk_rows: Optional[int] = None,
+    dimension: Optional[int] = None,
+) -> MmapStore:
+    """STR bulk-load a larger-than-RAM point source into an mmap store.
+
+    The out-of-core sibling of :func:`bulk_load_mmap`: ``source`` may be
+    an array, a path to a 2-D C-order ``.npy`` file, or an iterable of
+    row chunks, and is consumed in bounded-RAM chunks.  The STR sort
+    passes run as external merge sorts over spill files in a ``.spill``
+    directory inside the store directory (removed on success *and*
+    failure), and leaf payloads are written straight into the per-disk
+    page files one tile at a time.  Peak resident memory is bounded by
+    ``max_ram_bytes`` (plus the O(pages) directory); ``chunk_rows``
+    overrides the derived sort-chunk size directly (tests use 1 to
+    force maximal spilling).
+
+    The output is **byte-identical** to ``bulk_load_mmap`` on the same
+    data: the chunked external sort reproduces the exact stable-sort
+    permutations of the in-memory STR pass, and all downstream
+    arithmetic (tile boundaries, directory grouping, declustering,
+    slot assignment, file formats) is shared.  ``dimension`` is only
+    required when ``source`` is an empty iterable.
+    """
+    if not 0.8 <= fill <= 1.0:
+        raise ValueError(f"fill must be in [0.8, 1.0], got {fill}")
+    if isinstance(declusterer, Declusterer):
+        num_disks = declusterer.num_disks
+    elif num_disks is None:
+        raise ValueError("num_disks is required for a callable assignment")
+
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    spill = path / SPILL_DIR_NAME
+    spill.mkdir(exist_ok=True)
+    try:
+        records_a, records_b, count, dim, rows = _ingest(
+            source, spill, max_ram_bytes, chunk_rows, dimension
+        )
+        try:
+            oids_arr: Optional[np.ndarray] = None
+            if oids is not None:
+                oids_arr = np.asarray(oids, dtype=np.int64)
+                if oids_arr.shape != (count,):
+                    raise ValueError(
+                        f"oids must have shape ({count},), got "
+                        f"{oids_arr.shape}"
+                    )
+            tree = tree_cls(dim, page_bytes=page_bytes)
+            files = (records_a, records_b)
+            tiles: List[Tuple[int, int, int]] = []
+            leaves: List[Node] = []
+            order: List[int] = []
+            if count:
+                capacity = max(4, int(tree.leaf_cap * fill))
+                tiles, lows, highs = _stream_tiles(
+                    files, count, dim, capacity, rows, spill
+                )
+                leaves, order = _directory_from_tiles(
+                    tree, lows, highs, fill, count
+                )
+
+            if leaves:
+                centers = np.vstack([leaf.mbr.center for leaf in leaves])
+                if isinstance(declusterer, Declusterer):
+                    page_disks = np.asarray(
+                        declusterer.assign(centers), dtype=np.int64
+                    )
+                else:
+                    page_disks = np.asarray(
+                        declusterer(centers), dtype=np.int64
+                    )
+                if len(page_disks) != len(leaves):
+                    raise RuntimeError("page assignment has wrong length")
+                if page_disks.min() < 0 or page_disks.max() >= num_disks:
+                    raise RuntimeError(
+                        "page assignment outside [0, num_disks)"
+                    )
+            else:
+                page_disks = np.zeros(0, dtype=np.int64)
+
+            header = _tree_header(tree)
+            header["store_format_version"] = _STORE_FORMAT_VERSION
+            header["num_disks"] = num_disks
+            header["scheme"] = getattr(declusterer, "name", "custom")
+            header["cache"] = _encode_cache(cache_config)
+
+            ordered = [tiles[index] for index in order]
+            _write_store(
+                directory,
+                tree,
+                header,
+                leaves,
+                _SpillPayloads(files, ordered, dim, oids_arr),
+                page_disks,
+                int(num_disks),
+                page_bytes,
+                slot_bytes,
+                payload_counts=[stop - start for start, stop, _ in ordered],
+            )
+        finally:
+            records_a.delete()
+            records_b.delete()
+    finally:
+        shutil.rmtree(spill, ignore_errors=True)
     return MmapStore(directory)

@@ -29,11 +29,13 @@ On-disk layout of a store directory::
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import time
+import zipfile
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -87,6 +89,50 @@ def _page_file_name(disk: int) -> str:
     return f"disk{disk:04d}.pages"
 
 
+class _PayloadSource(Protocol):
+    """Indexed access to per-leaf ``(points, oids)`` payloads.
+
+    A plain list of tuples satisfies this; the streaming bulk loader
+    passes a lazy view that reads each tile back from its spill file
+    only when the page-file writer asks for it, so payloads never all
+    coexist in RAM.
+    """
+
+    def __len__(self) -> int:
+        """Number of leaf payloads (one per store-order leaf)."""
+        ...
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Payload ``(points, oids)`` of the ``index``-th leaf."""
+        ...
+
+
+def _savez_deterministic(
+    path: Union[str, os.PathLike], arrays: Dict[str, np.ndarray]
+) -> None:
+    """``np.savez_compressed`` with reproducible bytes.
+
+    ``np.savez_compressed`` stamps each zip member with the current
+    mtime, so two otherwise-identical stores differ. Writing the members
+    ourselves with a fixed timestamp (and fixed permission bits) makes
+    ``tree.npz`` a pure function of its arrays — the property the
+    streaming-vs-in-memory byte-parity tests assert.  ``np.load`` reads
+    the result like any other ``.npz``.
+    """
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, value in arrays.items():
+            payload = io.BytesIO()
+            np.lib.format.write_array(
+                payload, np.asanyarray(value), allow_pickle=False
+            )
+            info = zipfile.ZipInfo(
+                name + ".npy", date_time=(1980, 1, 1, 0, 0, 0)
+            )
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o600 << 16
+            archive.writestr(info, payload.getvalue())
+
+
 def _leaf_geometry(
     leaves: List[Node], counts: List[int], dimension: int
 ) -> Dict[str, np.ndarray]:
@@ -109,18 +155,22 @@ def _write_store(
     tree: RStarTree,
     header: Dict,
     leaves: List[Node],
-    payloads: List[Tuple[np.ndarray, np.ndarray]],
+    payloads: _PayloadSource,
     page_disks: np.ndarray,
     num_disks: int,
     page_bytes: int,
     slot_bytes: Optional[int],
+    payload_counts: Optional[Sequence[int]] = None,
 ) -> None:
     """Write ``store.json`` + ``tree.npz`` + one page file per disk.
 
     ``payloads`` holds each leaf's ``(points, oids)`` in store (pre-order)
-    leaf order; ``slot_bytes`` defaults to ``page_bytes`` times the
-    widest leaf (supernode-aware), the tight bound under the trees'
-    capacity rules.
+    leaf order — a plain list, or any indexed view (the streaming bulk
+    loader passes a lazy spill-file reader so payloads are fetched one
+    page at a time).  ``payload_counts`` supplies per-leaf entry counts
+    when iterating ``payloads`` up front would defeat that laziness.
+    ``slot_bytes`` defaults to ``page_bytes`` times the widest leaf
+    (supernode-aware), the tight bound under the trees' capacity rules.
     """
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
@@ -152,18 +202,21 @@ def _write_store(
         finally:
             writer.close()
 
+    if payload_counts is None:
+        counts = [len(payloads[i][1]) for i in range(len(payloads))]
+    else:
+        counts = [int(count) for count in payload_counts]
+
     arrays = _flatten(tree)
     # Payloads live in the page files; keep the npz directory-only.
     arrays["points"] = np.zeros((0, dimension))
     arrays["oids"] = np.zeros(0, dtype=np.int64)
     arrays["point_leaf"] = np.zeros(0, dtype=np.int64)
-    arrays.update(
-        _leaf_geometry(leaves, [len(p[1]) for p in payloads], dimension)
-    )
+    arrays.update(_leaf_geometry(leaves, counts, dimension))
     arrays["page_disks"] = np.asarray(page_disks, dtype=np.int64)
     arrays["page_slots"] = page_slots
     arrays["header"] = np.array(json.dumps(header))
-    np.savez_compressed(path / TREE_NPZ, **arrays)
+    _savez_deterministic(path / TREE_NPZ, arrays)
 
     store_meta = dict(header)
     store_meta["kind"] = "repro.mmap-store"

@@ -19,7 +19,7 @@ import pytest
 from repro.core import NearOptimalDeclusterer
 from repro.parallel.cache import CacheConfig
 from repro.parallel.paged import PagedEngine, PagedStore
-from repro.parallel.process import ProcessParallelEngine
+from repro.parallel.process import ProcessParallelEngine, _BatchPageMemo
 from repro.storage import MmapStore, save_mmap_store
 
 
@@ -99,12 +99,93 @@ class TestParity:
         assert np.array_equal(ours.pages_per_disk, theirs.pages_per_disk)
         assert ours.max_pages == theirs.max_pages
 
+    def test_single_leaf_store_scans_owning_disk_only(
+        self, tmp_path
+    ):
+        """A dataset small enough for one page has a *leaf* root; only
+        the disk that owns it may scan it (regression: every worker
+        used to read a leaf root, quadruplicating the candidates)."""
+        rng = np.random.default_rng(3)
+        store = PagedStore(
+            points=rng.random((64, 2)),
+            declusterer=NearOptimalDeclusterer(2, 4),
+        )
+        directory = tmp_path / "tiny"
+        save_mmap_store(store, directory)
+        with MmapStore(directory) as tiny:
+            assert tiny.tree.root.is_leaf
+            reference = PagedEngine(tiny, cache=None)
+            with ProcessParallelEngine(tiny) as engine:
+                queries = rng.random((3, 2))
+                for query in queries:
+                    _assert_bit_identical(
+                        engine.query(query, k=4),
+                        reference.query(query, k=4),
+                    )
+                batch = engine.query_batch(queries, k=4)
+                for query, result in zip(queries, batch.results):
+                    _assert_bit_identical(
+                        result, reference.query(query, k=4)
+                    )
+
     def test_speculative_reads_never_undercount(self, engine):
         """Workers may read extra pages under a stale bound, never
         fewer than the charged (post-hoc exact) count."""
         result = engine.query(np.full(6, 0.5), 5)
         assert engine.last_speculative_pages >= result.pages_per_disk.sum()
         assert result.pages_per_disk.sum() > 0
+
+
+class _CountingStore:
+    """Store facade that counts ``read_page`` pass-throughs."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.tree = inner.tree
+        self.disk_of = inner.disk_of
+        self.reads = 0
+
+    def read_page(self, node):
+        self.reads += 1
+        return self._inner.read_page(node)
+
+
+class TestBatchPageMemo:
+    """The batch-scoped page memo behind ``query_batch``'s worker loop."""
+
+    def _leaves(self, mmap_store):
+        stack, leaves = [mmap_store.tree.root], []
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                stack.extend(node.entries)
+        return leaves
+
+    def test_repeat_visits_served_from_memo(self, mmap_store):
+        counting = _CountingStore(mmap_store)
+        memo = _BatchPageMemo(counting)
+        leaf = self._leaves(mmap_store)[0]
+        first = memo.read_page(leaf)
+        second = memo.read_page(leaf)
+        assert counting.reads == 1
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_cap_disables_insertion_not_reads(self, mmap_store, monkeypatch):
+        monkeypatch.setattr(_BatchPageMemo, "_CAP", 1)
+        counting = _CountingStore(mmap_store)
+        memo = _BatchPageMemo(counting)
+        first_leaf, second_leaf = self._leaves(mmap_store)[:2]
+        memo.read_page(first_leaf)
+        memo.read_page(second_leaf)
+        memo.read_page(second_leaf)  # over cap: read-through every time
+        memo.read_page(first_leaf)   # still memoized
+        assert counting.reads == 3
+        points, oids = memo.read_page(second_leaf)
+        want_points, want_oids = mmap_store.read_page(second_leaf)
+        assert np.array_equal(points, want_points)
+        assert np.array_equal(oids, want_oids)
 
 
 class TestLifecycle:
@@ -165,7 +246,9 @@ class TestStartupFailure:
                 assert engine._tasks == []
                 assert engine._replies is None
                 assert engine._shared is None
-                assert engine._lock is None
+                assert engine._locks == []
+                assert engine._arena is None
+                assert engine._gates == []
                 # The engine recovers once spawning works again.
                 engine._ctx = real_ctx
                 result = engine.query(np.full(6, 0.5), 2)

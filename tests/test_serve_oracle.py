@@ -14,6 +14,8 @@ Also here: the tie-break-seed invariance replay (wired through the
 under arbitrary batch splits.
 """
 
+import asyncio
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -232,6 +234,85 @@ class TestSanitizerIntegration:
             pages_per_disk=report.pages_per_disk.tolist(),
             source="serve/fifo/col",
         )
+
+
+class TestProcessEngineServing:
+    """Serve-over-process: a :class:`ProcessParallelEngine` pool (one
+    worker per disk over a temp on-disk store) behind the service must
+    uphold the same bit-for-bit contract as the in-process engines.
+    These cells spawn real worker processes, so they stay deterministic
+    and small rather than hypothesis-driven."""
+
+    def test_served_process_run_matches_direct_batch(self):
+        spec = spec_for("process", "col")
+        trace = make_trace(spec, np.linspace(0.0, 40.0, 7), 21)
+        service = QueryService(
+            build_engine(spec), "max-batch", batch_size=3,
+            deadline_ms=5.0, own_engine=True,
+        )
+        try:
+            report = service.run_trace(trace)
+        finally:
+            service.close()
+
+        # build_engine is deterministic from spec.seed, so a separately
+        # built pool is an exact reference.
+        order = sorted(
+            range(len(trace)), key=lambda i: trace[i].arrival_ms
+        )
+        reference = build_engine(spec)
+        try:
+            batch = reference.query_batch(
+                np.stack([trace[i].query for i in order]), k=spec.k
+            )
+        finally:
+            reference.close()
+        by_input = [None] * len(trace)
+        for position, index in enumerate(order):
+            by_input[index] = batch.results[position]
+
+        assert np.array_equal(report.pages_per_disk, batch.pages_per_disk)
+        for served, direct in zip(report.query_results, by_input):
+            assert neighbor_tuples(served) == neighbor_tuples(direct)
+            assert np.array_equal(
+                served.pages_per_disk, direct.pages_per_disk
+            )
+
+    def test_process_engine_rejects_cache_pages(self):
+        with pytest.raises(ValueError, match="cacheless"):
+            spec_for("process", "col", cache_pages=32)
+
+    def test_service_stop_tears_down_worker_pool(self):
+        """``own_engine=True`` transfers pool ownership to the service:
+        ``stop()`` must close the engine, joining every worker."""
+        spec = spec_for("process", "col")
+        engine = build_engine(spec)
+        service = QueryService(engine, "fifo", own_engine=True)
+
+        async def go():
+            await service.start()
+            outcome = await service.knn(
+                np.full(spec.d, 0.5), k=spec.k
+            )
+            await service.stop()
+            return outcome
+
+        outcome = asyncio.run(go())
+        assert len(outcome.result.neighbors) == spec.k
+        assert engine._procs == []
+
+    def test_run_trace_then_close_tears_down_worker_pool(self):
+        spec = spec_for("process", "col")
+        engine = build_engine(spec)
+        service = QueryService(engine, "fifo", own_engine=True)
+        try:
+            report = service.run_trace(
+                make_trace(spec, [0.0, 3.0, 9.0], 4)
+            )
+            assert len(report.query_results) == 3
+        finally:
+            service.close()
+        assert engine._procs == []
 
 
 class TestCacheStatsConservation:

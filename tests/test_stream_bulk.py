@@ -1,0 +1,248 @@
+"""Streaming STR construction parity (``stream_bulk_load_mmap``).
+
+The streaming builder's contract is *byte identity*: for any dataset,
+chunk size, and source kind (array, ``.npy`` path, chunk iterator),
+the ``store.json`` / ``tree.npz`` / per-disk page files it writes must
+be ``filecmp``-identical to what in-memory :func:`bulk_load_mmap`
+writes for the same inputs.  Hypothesis draws the datasets and chunk
+sizes (including ``chunk_rows=1`` — maximal spilling — and chunk sizes
+larger than N); the assertions compare raw file bytes, never parsed
+structures.
+
+Also here: crash-path tests proving a failed build never leaves an
+orphaned ``.spill`` directory behind.
+"""
+
+import filecmp
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NearOptimalDeclusterer
+from repro.registry import make_declusterer
+from repro.storage import (
+    SPILL_DIR_NAME,
+    MmapStore,
+    bulk_load_mmap,
+    stream_bulk_load_mmap,
+)
+
+SMALL_RAM = 1 << 16  # 64 KiB: forces external sorting on tiny inputs.
+
+
+def dataset(n: int, d: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Duplicate some rows so the external sort's stability is load
+    # bearing: ties must come out in original-position order.
+    points = rng.random((n, d))
+    if n >= 8:
+        points[n // 2 :: 3] = points[: (n - n // 2 + 2) // 3]
+    return points
+
+
+def store_files(directory: Path):
+    return sorted(
+        name
+        for name in os.listdir(directory)
+        if (directory / name).is_file()
+    )
+
+
+def assert_stores_identical(reference: Path, candidate: Path):
+    names = store_files(reference)
+    assert store_files(candidate) == names
+    assert names, "store directory is empty"
+    for name in names:
+        assert filecmp.cmp(
+            reference / name, candidate / name, shallow=False
+        ), f"{name} differs between in-memory and streaming builds"
+
+
+def build_pair(points, tmp_path, *, num_disks=4, oids=None, **stream_kwargs):
+    """Build the same dataset twice (in-memory and streaming) and
+    return the two store directories, with both stores closed."""
+    d = points.shape[1]
+    reference = tmp_path / "reference"
+    candidate = tmp_path / "candidate"
+    bulk_load_mmap(
+        points, NearOptimalDeclusterer(d, num_disks), reference, oids=oids
+    ).close()
+    stream_bulk_load_mmap(
+        points,
+        NearOptimalDeclusterer(d, num_disks),
+        candidate,
+        oids=oids,
+        **stream_kwargs,
+    ).close()
+    return reference, candidate
+
+
+class TestByteParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(0, 150),
+        d=st.integers(1, 5),
+        chunk_rows=st.one_of(
+            st.none(), st.just(1), st.integers(2, 200)
+        ),
+        seed=st.integers(0, 999),
+    )
+    def test_streaming_build_is_byte_identical(
+        self, n, d, chunk_rows, seed, tmp_path_factory
+    ):
+        """The core oracle: any dataset, any chunk size (1 row up to
+        more than N), identical output files."""
+        tmp_path = tmp_path_factory.mktemp("parity")
+        points = dataset(n, d, seed)
+        # d=1 only admits 2 colors under the near-optimal scheme.
+        reference, candidate = build_pair(
+            points,
+            tmp_path,
+            num_disks=2 if d == 1 else 4,
+            chunk_rows=chunk_rows,
+            max_ram_bytes=SMALL_RAM,
+        )
+        assert_stores_identical(reference, candidate)
+        assert not (candidate / SPILL_DIR_NAME).exists()
+
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 10_000])
+    def test_extreme_chunk_sizes(self, chunk_rows, tmp_path):
+        """chunk=1 (every row its own sort run) and chunk>N (no
+        spill-merge at all) hit the two boundary code paths."""
+        points = dataset(97, 3, seed=5)
+        reference, candidate = build_pair(
+            points, tmp_path, chunk_rows=chunk_rows
+        )
+        assert_stores_identical(reference, candidate)
+
+    def test_npy_path_source(self, tmp_path):
+        points = dataset(120, 4, seed=9)
+        npy = tmp_path / "points.npy"
+        np.save(npy, points)
+        reference = tmp_path / "reference"
+        candidate = tmp_path / "candidate"
+        decl = NearOptimalDeclusterer(4, 4)
+        bulk_load_mmap(points, decl, reference).close()
+        stream_bulk_load_mmap(
+            str(npy), decl, candidate, chunk_rows=11
+        ).close()
+        assert_stores_identical(reference, candidate)
+
+    def test_iterator_source_with_ragged_chunks(self, tmp_path):
+        """An iterable of uneven row chunks (including empty ones) is
+        equivalent to the concatenated array."""
+        points = dataset(83, 3, seed=2)
+        splits = [0, 1, 1, 14, 40, 40, 83]
+        chunks = [
+            points[a:b] for a, b in zip(splits, splits[1:])
+        ]
+        reference = tmp_path / "reference"
+        candidate = tmp_path / "candidate"
+        decl = NearOptimalDeclusterer(3, 4)
+        bulk_load_mmap(points, decl, reference).close()
+        stream_bulk_load_mmap(
+            iter(chunks), decl, candidate, chunk_rows=9
+        ).close()
+        assert_stores_identical(reference, candidate)
+
+    def test_explicit_oids(self, tmp_path):
+        points = dataset(60, 2, seed=31)
+        oids = np.arange(1000, 1060)[::-1].copy()
+        reference, candidate = build_pair(
+            points, tmp_path, oids=oids, chunk_rows=13
+        )
+        assert_stores_identical(reference, candidate)
+        with MmapStore(candidate) as store:
+            seen = sorted(
+                int(oid)
+                for leaf in store.tree.leaves()
+                for oid in store.read_page(leaf)[1]
+            )
+        assert seen == sorted(int(o) for o in oids)
+
+    @pytest.mark.parametrize("scheme", ["new", "RR", "HIL"])
+    def test_parity_across_declustering_schemes(self, scheme, tmp_path):
+        """Schemes with internal state (round-robin) still agree: each
+        build gets a fresh declusterer instance."""
+        points = dataset(110, 3, seed=17)
+        reference = tmp_path / "reference"
+        candidate = tmp_path / "candidate"
+        bulk_load_mmap(
+            points, make_declusterer(scheme, 3, 4), reference
+        ).close()
+        stream_bulk_load_mmap(
+            points,
+            make_declusterer(scheme, 3, 4),
+            candidate,
+            chunk_rows=8,
+        ).close()
+        assert_stores_identical(reference, candidate)
+
+    def test_empty_iterator_needs_dimension(self, tmp_path):
+        decl = NearOptimalDeclusterer(3, 2)
+        store = stream_bulk_load_mmap(
+            iter([]), decl, tmp_path / "empty", dimension=3
+        )
+        try:
+            assert len(store) == 0
+        finally:
+            store.close()
+        reference = tmp_path / "reference"
+        bulk_load_mmap(np.zeros((0, 3)), decl, reference).close()
+        assert_stores_identical(reference, tmp_path / "empty")
+
+
+class TestCrashCleanup:
+    def test_failing_source_leaves_no_spill_files(self, tmp_path):
+        """A source iterator that dies mid-ingest must not orphan the
+        spill directory or its record files."""
+
+        def exploding():
+            yield np.random.default_rng(0).random((10, 3))
+            raise RuntimeError("disk on fire")
+
+        target = tmp_path / "store"
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            stream_bulk_load_mmap(
+                exploding(),
+                NearOptimalDeclusterer(3, 2),
+                target,
+                chunk_rows=4,
+            )
+        assert not (target / SPILL_DIR_NAME).exists()
+
+    def test_failure_after_merge_leaves_no_spill_files(self, tmp_path):
+        """A declusterer that rejects its assignment fails *after* the
+        external sorts have produced spill runs; cleanup must still
+        reclaim every spill byte."""
+
+        def bad_assignment(centers):
+            raise RuntimeError("assignment rejected")
+
+        target = tmp_path / "store"
+        points = dataset(64, 3, seed=3)
+        with pytest.raises(RuntimeError, match="assignment rejected"):
+            stream_bulk_load_mmap(
+                points,
+                bad_assignment,
+                target,
+                num_disks=2,
+                chunk_rows=4,
+            )
+        assert not (target / SPILL_DIR_NAME).exists()
+
+    def test_bad_oid_shape_cleans_up(self, tmp_path):
+        target = tmp_path / "store"
+        points = dataset(32, 2, seed=8)
+        with pytest.raises(ValueError, match="oids must have shape"):
+            stream_bulk_load_mmap(
+                points,
+                NearOptimalDeclusterer(2, 2),
+                target,
+                oids=np.arange(5),
+                chunk_rows=6,
+            )
+        assert not (target / SPILL_DIR_NAME).exists()
